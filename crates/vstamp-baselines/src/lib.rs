@@ -1,0 +1,58 @@
+//! # vstamp-baselines — classic causality-tracking mechanisms
+//!
+//! The mechanisms version stamps are compared against, both in the paper's
+//! discussion and in this reproduction's evaluation harness:
+//!
+//! * [`VersionVector`] / [`FixedVersionVectorMechanism`] — the classic
+//!   mechanism of Parker et al. (1983) used in Figure 1 of the paper, with a
+//!   *fixed*, globally agreed set of replica identifiers.
+//! * [`DynamicVersionVectorMechanism`] — version vectors with dynamic
+//!   replica creation and retirement in the style of Ratner et al. (1997):
+//!   every fork asks a (conceptually global) allocator for a fresh replica
+//!   identifier. This is exactly the coordination requirement the paper
+//!   argues is unavailable under partitioned operation.
+//! * [`VectorClock`] — Fidge/Mattern vector clocks, the twin concept
+//!   discussed in the introduction.
+//! * [`DottedVersionVector`] — a modern refinement used by replicated data
+//!   stores; included as an additional point of comparison for the space
+//!   experiments.
+//! * [`RandomIdCausalMechanism`] — causal histories over *probabilistically
+//!   unique* random event identifiers, the "random based ids" alternative
+//!   the paper explicitly declines to rely on.
+//!
+//! Every mechanism implements [`vstamp_core::Mechanism`], so the simulator
+//! and the benchmark harness can replay identical fork/join/update traces
+//! against all of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dotted;
+pub mod dynamic_vv;
+pub mod random_causal;
+pub mod replica;
+pub mod vector_clock;
+pub mod version_vector;
+
+pub use dotted::{Dot, DottedElement, DottedMechanism, DottedVersionVector};
+pub use dynamic_vv::{DynamicVersionVectorMechanism, DynamicVvElement};
+pub use random_causal::{RandomIdCausalMechanism, RandomIdHistory};
+pub use replica::ReplicaId;
+pub use vector_clock::{VectorClock, VectorClockMechanism};
+pub use version_vector::{FixedVersionVectorMechanism, VersionVector, VvElement};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReplicaId>();
+        assert_send_sync::<VersionVector>();
+        assert_send_sync::<VectorClock>();
+        assert_send_sync::<DottedVersionVector>();
+        assert_send_sync::<RandomIdHistory>();
+    }
+}

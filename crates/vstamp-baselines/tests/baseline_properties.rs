@@ -1,0 +1,119 @@
+//! Property tests: every baseline mechanism induces the same frontier
+//! pre-order as causal histories (and hence as version stamps) on random
+//! fork/join/update traces, and the version-vector lattice laws hold.
+
+use proptest::prelude::*;
+use vstamp_baselines::{
+    DottedMechanism, DynamicVersionVectorMechanism, FixedVersionVectorMechanism,
+    RandomIdCausalMechanism, ReplicaId, VectorClockMechanism, VersionVector,
+};
+use vstamp_core::causal::CausalMechanism;
+use vstamp_core::{Configuration, Mechanism, Operation, Trace};
+
+type Script = Vec<(u8, u8, u8)>;
+
+fn script(max_len: usize) -> impl Strategy<Value = Script> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..=max_len)
+}
+
+fn run_script<M: Mechanism>(mechanism: M, script: &Script) -> (Configuration<M>, Trace) {
+    let mut config = Configuration::new(mechanism);
+    let mut trace = Trace::new();
+    for &(kind, x, y) in script {
+        let ids = config.ids();
+        let pick = |sel: u8| ids[sel as usize % ids.len()];
+        let op = match kind % 3 {
+            0 => Operation::Update(pick(x)),
+            1 => Operation::Fork(pick(x)),
+            _ if ids.len() >= 2 => {
+                let a = pick(x);
+                let b = pick(y);
+                if a == b {
+                    Operation::Join(a, *ids.iter().find(|&&i| i != a).expect("len >= 2"))
+                } else {
+                    Operation::Join(a, b)
+                }
+            }
+            _ => Operation::Fork(pick(x)),
+        };
+        config.apply(op).expect("scripted operation applies");
+        trace.push(op);
+    }
+    (config, trace)
+}
+
+fn replay<M: Mechanism>(mechanism: M, trace: &Trace) -> Configuration<M> {
+    let mut config = Configuration::new(mechanism);
+    config.apply_trace(trace).expect("trace replays cleanly");
+    config
+}
+
+fn assert_agrees_with_causal<M: Mechanism>(mechanism: M, trace: &Trace, causal: &Configuration<CausalMechanism>) {
+    let config = replay(mechanism, trace);
+    assert_eq!(config.ids(), causal.ids());
+    for (a, b, expected) in causal.pairwise_relations() {
+        let actual = config.relation(a, b).expect("same ids");
+        assert_eq!(
+            actual, expected,
+            "{} disagrees with causal histories at ({a}, {b})",
+            config.mechanism().mechanism_name()
+        );
+    }
+}
+
+fn version_vector(max_replicas: u64, max_counter: u64) -> impl Strategy<Value = VersionVector> {
+    prop::collection::vec((0..max_replicas, 0..=max_counter), 0..max_replicas as usize)
+        .prop_map(|entries| entries.into_iter().map(|(r, c)| (ReplicaId::new(r), c)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All baselines agree with the causal-history oracle on random traces.
+    #[test]
+    fn baselines_agree_with_causal_histories(script in script(35)) {
+        let (causal, trace) = run_script(CausalMechanism::new(), &script);
+        assert_agrees_with_causal(FixedVersionVectorMechanism::new(), &trace, &causal);
+        assert_agrees_with_causal(DynamicVersionVectorMechanism::new(), &trace, &causal);
+        assert_agrees_with_causal(VectorClockMechanism::new(), &trace, &causal);
+        assert_agrees_with_causal(DottedMechanism::new(), &trace, &causal);
+        assert_agrees_with_causal(RandomIdCausalMechanism::with_seed(7), &trace, &causal);
+    }
+
+    /// Version-vector merge is a join-semilattice operation and `leq` is the
+    /// associated partial order.
+    #[test]
+    fn version_vector_lattice_laws(a in version_vector(6, 5), b in version_vector(6, 5), c in version_vector(6, 5)) {
+        prop_assert_eq!(a.merged(&a), a.clone());
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        prop_assert!(a.leq(&a.merged(&b)));
+        prop_assert!(b.leq(&a.merged(&b)));
+        prop_assert_eq!(a.leq(&b), a.merged(&b) == b);
+        prop_assert_eq!(a.leq(&b) && b.leq(&a), a == b);
+    }
+
+    /// Version-vector comparison matches comparing total knowledge per
+    /// replica entry.
+    #[test]
+    fn version_vector_relation_is_consistent(a in version_vector(5, 4), b in version_vector(5, 4)) {
+        let relation = a.relation(&b);
+        prop_assert_eq!(relation.reverse(), b.relation(&a));
+        prop_assert_eq!(relation.includes_left(), a.leq(&b));
+        prop_assert_eq!(relation.includes_right(), b.leq(&a));
+    }
+
+    /// The dynamic mechanism never produces narrower vectors than the fixed
+    /// one on the same trace (it allocates identifiers at least as fast).
+    #[test]
+    fn dynamic_vectors_are_at_least_as_wide(script in script(30)) {
+        let (fixed, trace) = run_script(FixedVersionVectorMechanism::new(), &script);
+        let dynamic = replay(DynamicVersionVectorMechanism::new(), &trace);
+        for id in fixed.ids() {
+            let fixed_len = fixed.get(id).expect("listed").vector.len();
+            let dynamic_len = dynamic.get(id).expect("listed").vector.len();
+            prop_assert!(dynamic_len >= fixed_len,
+                "dynamic vector narrower than fixed at {id}: {dynamic_len} < {fixed_len}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Experiment E8 (bench form) — end-to-end trace replay throughput per
+//! mechanism: how fast each mechanism can process the same fork/join/update
+//! workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vstamp_baselines::{
+    DottedMechanism, DynamicVersionVectorMechanism, FixedVersionVectorMechanism, VectorClockMechanism,
+};
+use vstamp_core::causal::CausalMechanism;
+use vstamp_core::{Configuration, Mechanism, Trace, TreeStampMechanism};
+use vstamp_itc::ItcMechanism;
+use vstamp_sim::workload::{generate, OperationMix, WorkloadSpec};
+
+fn replay<M: Mechanism>(mechanism: M, trace: &Trace) -> usize {
+    let mut config = Configuration::new(mechanism);
+    config.apply_trace(trace).expect("trace replays cleanly");
+    config.len()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = generate(
+        &WorkloadSpec::new(2_000, 16, vstamp_bench::DEFAULT_SEED).with_mix(OperationMix::balanced()),
+    );
+    let mut group = c.benchmark_group("trace-replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+
+    group.bench_with_input(BenchmarkId::from_parameter("version-stamps"), &trace, |b, t| {
+        b.iter(|| replay(TreeStampMechanism::reducing(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("version-stamps-nonreducing"), &trace, |b, t| {
+        b.iter(|| replay(TreeStampMechanism::non_reducing(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("version-vectors"), &trace, |b, t| {
+        b.iter(|| replay(FixedVersionVectorMechanism::new(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("dynamic-version-vectors"), &trace, |b, t| {
+        b.iter(|| replay(DynamicVersionVectorMechanism::new(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("vector-clocks"), &trace, |b, t| {
+        b.iter(|| replay(VectorClockMechanism::new(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("dotted-version-vectors"), &trace, |b, t| {
+        b.iter(|| replay(DottedMechanism::new(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("causal-histories"), &trace, |b, t| {
+        b.iter(|| replay(CausalMechanism::new(), t))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("interval-tree-clocks"), &trace, |b, t| {
+        b.iter(|| replay(ItcMechanism::new(), t))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment E8 — latency of the primitive stamp operations (update, fork,
+//! join, compare, reduce, encode) as a function of stamp size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vstamp_core::{encode, Reduction, VersionStamp};
+
+/// Builds a stamp whose identity has roughly `width` strings by forking
+/// repeatedly without joining, and touching some updates along the way.
+fn stamp_with_width(width: usize) -> VersionStamp {
+    let mut frontier = vec![VersionStamp::seed()];
+    while frontier.len() < width {
+        let victim = frontier.remove(0);
+        let (a, b) = victim.fork();
+        frontier.push(a.update());
+        frontier.push(b);
+    }
+    // join everything back without reduction so the stamp keeps `width`
+    // strings in its identity
+    let mut acc = frontier.remove(0);
+    for other in frontier {
+        acc = acc.join_with(&other, Reduction::NonReducing);
+    }
+    acc
+}
+
+fn bench_primitive_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stamp-ops");
+    for width in [1usize, 4, 16, 64, 256] {
+        let stamp = stamp_with_width(width);
+        let (left, right) = stamp.fork();
+        let left = left.update();
+
+        group.bench_with_input(BenchmarkId::new("update", width), &stamp, |b, s| {
+            b.iter(|| s.update())
+        });
+        group.bench_with_input(BenchmarkId::new("fork", width), &stamp, |b, s| {
+            b.iter(|| s.fork())
+        });
+        group.bench_with_input(BenchmarkId::new("join-reducing", width), &(left.clone(), right.clone()), |b, (l, r)| {
+            b.iter(|| l.join(r))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("join-non-reducing", width),
+            &(left.clone(), right.clone()),
+            |b, (l, r)| b.iter(|| l.join_non_reducing(r)),
+        );
+        group.bench_with_input(BenchmarkId::new("compare", width), &(left.clone(), right.clone()), |b, (l, r)| {
+            b.iter(|| l.relation(r))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", width), &stamp, |b, s| {
+            b.iter(|| s.reduce())
+        });
+        group.bench_with_input(BenchmarkId::new("encode", width), &stamp, |b, s| {
+            b.iter(|| encode::encode_stamp(s))
+        });
+        let bytes = encode::encode_stamp(&stamp);
+        group.bench_with_input(BenchmarkId::new("decode", width), &bytes, |b, bytes| {
+            b.iter(|| encode::decode_stamp(bytes).expect("valid encoding"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitive_ops);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — the two name representations (literal antichain set vs packed
+//! trie) compared on the order test, the join and the fork construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vstamp_core::{Bit, BitString, Name, NameTree};
+
+/// A name with `strings` deterministic pseudo-random strings of the given
+/// depth.
+fn wide_name(strings: usize, depth: usize) -> Name {
+    let mut out = Name::empty();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    while out.len() < strings {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mut s = BitString::empty();
+        for bit in 0..depth {
+            s.push(Bit::from((state >> (bit % 64)) & 1 == 1));
+        }
+        out.insert(s);
+    }
+    out
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("name-representation");
+    for strings in [4usize, 16, 64, 256] {
+        let a = wide_name(strings, 14);
+        let b = wide_name(strings, 14);
+        let ta = NameTree::from_name(&a);
+        let tb = NameTree::from_name(&b);
+
+        group.bench_with_input(BenchmarkId::new("set-leq", strings), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| a.leq(b))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-leq", strings), &(ta.clone(), tb.clone()), |bench, (a, b)| {
+            bench.iter(|| a.leq(b))
+        });
+        group.bench_with_input(BenchmarkId::new("set-join", strings), &(a.clone(), b.clone()), |bench, (a, b)| {
+            bench.iter(|| a.join(b))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-join", strings), &(ta.clone(), tb.clone()), |bench, (a, b)| {
+            bench.iter(|| a.join(b))
+        });
+        group.bench_with_input(BenchmarkId::new("set-append", strings), &a, |bench, a| {
+            bench.iter(|| a.append(Bit::Zero))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-append", strings), &ta, |bench, a| {
+            bench.iter(|| a.append(Bit::Zero))
+        });
+        group.bench_with_input(BenchmarkId::new("set-to-tree", strings), &a, |bench, a| {
+            bench.iter(|| NameTree::from_name(a))
+        });
+        group.bench_with_input(BenchmarkId::new("tree-to-set", strings), &ta, |bench, a| {
+            bench.iter(|| a.to_name())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

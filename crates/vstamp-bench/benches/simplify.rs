@@ -1,0 +1,57 @@
+//! Experiment E9 (bench form) — cost of the simplification rule itself, on
+//! the packed trie representation and on the literal antichain
+//! representation, as the number of collapsible sibling pairs grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vstamp_core::{simplify, Name, NameTree, Reduction, SetStamp, VersionStamp};
+
+/// A stamp whose identity holds `leaves` sibling strings that all collapse
+/// back to {ε} (a complete fork tree joined without reduction).
+fn fully_collapsible(leaves: usize) -> VersionStamp {
+    let mut frontier = vec![VersionStamp::seed()];
+    while frontier.len() < leaves {
+        let victim = frontier.remove(0);
+        let (a, b) = victim.fork();
+        frontier.push(a);
+        frontier.push(b);
+    }
+    let mut acc = frontier.remove(0).update();
+    for other in frontier {
+        acc = acc.join_with(&other, Reduction::NonReducing);
+    }
+    acc
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplification");
+    for leaves in [4usize, 16, 64, 256] {
+        let tree_stamp = fully_collapsible(leaves);
+        let set_stamp: SetStamp = tree_stamp.clone().into();
+
+        group.bench_with_input(BenchmarkId::new("tree-representation", leaves), &tree_stamp, |b, s| {
+            b.iter(|| s.reduce())
+        });
+        group.bench_with_input(BenchmarkId::new("antichain-representation", leaves), &set_stamp, |b, s| {
+            b.iter(|| s.reduce())
+        });
+
+        let update: Name = set_stamp.update_name().clone();
+        let id: Name = set_stamp.id_name().clone();
+        group.bench_with_input(
+            BenchmarkId::new("literal-rewriting-rule", leaves),
+            &(update, id),
+            |b, (u, i)| b.iter(|| simplify::reduce_name_pair(u, i)),
+        );
+
+        // the already-reduced case: checking there is nothing to do
+        let reduced = tree_stamp.reduce();
+        group.bench_with_input(BenchmarkId::new("already-reduced", leaves), &reduced, |b, s| {
+            b.iter(|| s.reduce())
+        });
+        assert!(reduced.id_name().is_epsilon() || reduced.id_name() != &NameTree::Empty);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment E7 (bench form) — end-to-end space measurement runs: how long
+//! it takes to replay and measure a full workload per mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vstamp_baselines::{DynamicVersionVectorMechanism, FixedVersionVectorMechanism};
+use vstamp_core::TreeStampMechanism;
+use vstamp_itc::ItcMechanism;
+use vstamp_sim::metrics::measure_space;
+use vstamp_sim::workload::{generate, OperationMix, WorkloadSpec};
+
+fn bench_space_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space-measurement");
+    group.sample_size(10);
+    for max_replicas in [8usize, 32] {
+        let trace = generate(
+            &WorkloadSpec::new(1_000, max_replicas, vstamp_bench::DEFAULT_SEED)
+                .with_mix(OperationMix::churn_heavy()),
+        );
+        group.bench_with_input(BenchmarkId::new("version-stamps", max_replicas), &trace, |b, t| {
+            b.iter(|| measure_space(TreeStampMechanism::reducing(), t))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("version-stamps-nonreducing", max_replicas),
+            &trace,
+            |b, t| b.iter(|| measure_space(TreeStampMechanism::non_reducing(), t)),
+        );
+        group.bench_with_input(BenchmarkId::new("version-vectors", max_replicas), &trace, |b, t| {
+            b.iter(|| measure_space(FixedVersionVectorMechanism::new(), t))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic-version-vectors", max_replicas),
+            &trace,
+            |b, t| b.iter(|| measure_space(DynamicVersionVectorMechanism::new(), t)),
+        );
+        group.bench_with_input(BenchmarkId::new("interval-tree-clocks", max_replicas), &trace, |b, t| {
+            b.iter(|| measure_space(ItcMechanism::new(), t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_space_measurement);
+criterion_main!(benches);

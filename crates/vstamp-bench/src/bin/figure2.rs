@@ -1,0 +1,31 @@
+//! Experiment E2 — regenerates Figure 2: the fork/join/update evolution and
+//! its frontier, viewed through causal histories (the global-view model of
+//! Section 2).
+
+use vstamp_bench::header;
+use vstamp_core::causal::CausalMechanism;
+use vstamp_sim::scenario::{figure2, figure2_causal_histories, verify_figure2_relations};
+
+fn main() {
+    let scenario = figure2();
+    header("Figure 2 — fork/join/update evolution (causal histories view)");
+    println!("trace ({} operations):", scenario.trace.len());
+    for op in &scenario.trace {
+        println!("  {op}");
+    }
+
+    header("final frontier causal histories");
+    for (label, history) in figure2_causal_histories() {
+        println!("  {label}: {history}");
+    }
+
+    header("expected frontier relations (paper)");
+    println!("  d1 equivalent g1   (neither saw the later updates)");
+    println!("  d1 obsolete   c3   (c3 saw every update)");
+    println!("  g1 obsolete   c3");
+
+    match verify_figure2_relations(CausalMechanism::new()) {
+        Ok(()) => println!("\nRESULT: causal-history relations match the figure."),
+        Err(e) => println!("\nRESULT: MISMATCH — {e}"),
+    }
+}

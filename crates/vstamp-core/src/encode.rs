@@ -1,0 +1,384 @@
+//! Compact binary wire encoding of names and stamps.
+//!
+//! The paper motivates version stamps partly on space grounds ("an efficient
+//! use of space is also highly desirable"). This module defines the wire
+//! format used by the space experiments (E7/E9) and by applications that
+//! ship stamps between replicas (the PANASYNC-style file tracker).
+//!
+//! The encoding works on the trie representation and spends:
+//!
+//! * 1 bit for `Empty` (`0`),
+//! * 2 bits for `Elem` (`10`),
+//! * 2 bits + children for `Node` (`11` then the encodings of the two
+//!   subtrees).
+//!
+//! A stamp is the concatenation of its update and id encodings. The decoder
+//! is the exact inverse and rejects malformed or truncated input.
+//!
+//! # Examples
+//!
+//! ```
+//! use vstamp_core::{encode, VersionStamp};
+//!
+//! let (a, b) = VersionStamp::seed().fork();
+//! let stamp = a.update().join_non_reducing(&b);
+//! let bytes = encode::encode_stamp(&stamp);
+//! let decoded = encode::decode_stamp(&bytes)?;
+//! assert_eq!(decoded, stamp);
+//! # Ok::<(), vstamp_core::DecodeError>(())
+//! ```
+
+use crate::bitstring::Bit;
+use crate::error::DecodeError;
+use crate::name::Name;
+use crate::stamp::VersionStamp;
+use crate::tree::NameTree;
+
+/// Append-only bit buffer used by the encoder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, bit: Bit) {
+        if self.bit_len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        if bit.is_one() {
+            let idx = self.bit_len / 8;
+            self.bytes[idx] |= 1 << (7 - (self.bit_len % 8));
+        }
+        self.bit_len += 1;
+    }
+
+    /// Finishes the stream, returning the packed bytes (the final byte is
+    /// zero-padded).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bit-level reader used by the decoder.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over packed bytes.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, position: 0 }
+    }
+
+    /// Number of bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Reads the next bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEnd`] when the input is exhausted.
+    pub fn read(&mut self) -> Result<Bit, DecodeError> {
+        let byte_index = self.position / 8;
+        if byte_index >= self.bytes.len() {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let bit = (self.bytes[byte_index] >> (7 - (self.position % 8))) & 1;
+        self.position += 1;
+        Ok(Bit::from(bit == 1))
+    }
+
+    /// Checks that only zero padding (less than one byte) remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingData`] if a whole unread byte remains
+    /// or any remaining padding bit is set.
+    pub fn finish(mut self) -> Result<(), DecodeError> {
+        let consumed_bytes = self.position.div_ceil(8);
+        if self.bytes.len() > consumed_bytes {
+            return Err(DecodeError::TrailingData);
+        }
+        while self.position % 8 != 0 {
+            if self.read()? == Bit::One {
+                return Err(DecodeError::TrailingData);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_tree(tree: &NameTree, writer: &mut BitWriter) {
+    match tree {
+        NameTree::Empty => writer.push(Bit::Zero),
+        NameTree::Elem => {
+            writer.push(Bit::One);
+            writer.push(Bit::Zero);
+        }
+        NameTree::Node(zero, one) => {
+            writer.push(Bit::One);
+            writer.push(Bit::One);
+            write_tree(zero, writer);
+            write_tree(one, writer);
+        }
+    }
+}
+
+fn read_tree(reader: &mut BitReader<'_>) -> Result<NameTree, DecodeError> {
+    match reader.read()? {
+        Bit::Zero => Ok(NameTree::Empty),
+        Bit::One => match reader.read()? {
+            Bit::Zero => Ok(NameTree::Elem),
+            Bit::One => {
+                let zero = read_tree(reader)?;
+                let one = read_tree(reader)?;
+                if zero.is_empty() && one.is_empty() {
+                    return Err(DecodeError::Malformed("interior node with two empty children"));
+                }
+                Ok(NameTree::Node(Box::new(zero), Box::new(one)))
+            }
+        },
+    }
+}
+
+/// Number of bits the encoding of a tree occupies.
+#[must_use]
+pub fn encoded_tree_bits(tree: &NameTree) -> usize {
+    match tree {
+        NameTree::Empty => 1,
+        NameTree::Elem => 2,
+        NameTree::Node(zero, one) => 2 + encoded_tree_bits(zero) + encoded_tree_bits(one),
+    }
+}
+
+/// Number of bits the encoding of a stamp occupies (update plus id).
+#[must_use]
+pub fn encoded_stamp_bits(stamp: &VersionStamp) -> usize {
+    encoded_tree_bits(stamp.update_name()) + encoded_tree_bits(stamp.id_name())
+}
+
+/// Number of bits the encoding of a name occupies (via its trie form).
+#[must_use]
+pub fn encoded_name_bits(name: &Name) -> usize {
+    encoded_tree_bits(&NameTree::from_name(name))
+}
+
+/// Encodes a name tree into packed bytes.
+#[must_use]
+pub fn encode_tree(tree: &NameTree) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    write_tree(tree, &mut writer);
+    writer.into_bytes()
+}
+
+/// Decodes a name tree from packed bytes produced by [`encode_tree`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input.
+pub fn decode_tree(bytes: &[u8]) -> Result<NameTree, DecodeError> {
+    let mut reader = BitReader::new(bytes);
+    let tree = read_tree(&mut reader)?;
+    reader.finish()?;
+    Ok(tree)
+}
+
+/// Encodes a name into packed bytes (via its trie form).
+#[must_use]
+pub fn encode_name(name: &Name) -> Vec<u8> {
+    encode_tree(&NameTree::from_name(name))
+}
+
+/// Decodes a name from packed bytes produced by [`encode_name`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input.
+pub fn decode_name(bytes: &[u8]) -> Result<Name, DecodeError> {
+    Ok(decode_tree(bytes)?.to_name())
+}
+
+/// Encodes a stamp (update then id) into packed bytes.
+#[must_use]
+pub fn encode_stamp(stamp: &VersionStamp) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    write_tree(stamp.update_name(), &mut writer);
+    write_tree(stamp.id_name(), &mut writer);
+    writer.into_bytes()
+}
+
+/// Decodes a stamp from packed bytes produced by [`encode_stamp`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input, or
+/// when the decoded pair violates the stamp well-formedness conditions
+/// (empty id or Invariant I1).
+pub fn decode_stamp(bytes: &[u8]) -> Result<VersionStamp, DecodeError> {
+    let mut reader = BitReader::new(bytes);
+    let update = read_tree(&mut reader)?;
+    let id = read_tree(&mut reader)?;
+    reader.finish()?;
+    VersionStamp::from_parts(update, id).map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stamp::Stamp;
+
+    fn tree(s: &str) -> NameTree {
+        s.parse().expect("valid name literal")
+    }
+
+    const SAMPLES: &[&str] = &[
+        "{}",
+        "{ε}",
+        "{0}",
+        "{1}",
+        "{0, 1}",
+        "{01, 1}",
+        "{00, 011}",
+        "{000, 011, 1}",
+        "{00, 01, 10, 11}",
+        "{0110, 0111, 010, 00, 1}",
+    ];
+
+    #[test]
+    fn tree_roundtrip() {
+        for lit in SAMPLES {
+            let t = tree(lit);
+            let bytes = encode_tree(&t);
+            let decoded = decode_tree(&bytes).unwrap();
+            assert_eq!(decoded, t, "roundtrip failed for {lit}");
+            assert_eq!(encoded_tree_bits(&t).div_ceil(8), bytes.len());
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for lit in SAMPLES {
+            let n: Name = lit.parse().unwrap();
+            let bytes = encode_name(&n);
+            assert_eq!(decode_name(&bytes).unwrap(), n);
+            assert_eq!(encoded_name_bits(&n), encoded_tree_bits(&NameTree::from_name(&n)));
+        }
+    }
+
+    #[test]
+    fn stamp_roundtrip() {
+        let seed = VersionStamp::seed();
+        let (a, b) = seed.fork();
+        let a1 = a.update();
+        let joined = a1.join_non_reducing(&b);
+        let (c, d) = joined.fork();
+        for stamp in [seed, a, b, a1, joined, c.update(), d] {
+            let bytes = encode_stamp(&stamp);
+            assert_eq!(decode_stamp(&bytes).unwrap(), stamp);
+            assert_eq!(encoded_stamp_bits(&stamp).div_ceil(8), bytes.len());
+        }
+    }
+
+    #[test]
+    fn encoded_sizes_are_small_for_small_stamps() {
+        // The seed stamp encodes to 4 bits (two `Elem`s), i.e. one byte.
+        let seed = VersionStamp::seed();
+        assert_eq!(encoded_stamp_bits(&seed), 4);
+        assert_eq!(encode_stamp(&seed).len(), 1);
+        // A freshly forked replica is still tiny.
+        let (a, _) = seed.fork();
+        assert!(encoded_stamp_bits(&a) <= 8);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let (a, b) = VersionStamp::seed().fork();
+        let stamp = a.update().join_non_reducing(&b);
+        let bytes = encode_stamp(&stamp);
+        assert!(bytes.len() > 1);
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            decode_stamp(truncated),
+            Err(DecodeError::UnexpectedEnd) | Err(DecodeError::Malformed(_)) | Err(DecodeError::TrailingData)
+        ));
+        assert_eq!(decode_tree(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_data() {
+        let mut bytes = encode_tree(&tree("{0, 1}"));
+        bytes.push(0xFF);
+        assert_eq!(decode_tree(&bytes), Err(DecodeError::TrailingData));
+
+        // set a padding bit
+        let bytes = encode_tree(&NameTree::Elem); // 2 bits used
+        let mut corrupted = bytes.clone();
+        corrupted[0] |= 0b0000_0001;
+        assert_eq!(decode_tree(&corrupted), Err(DecodeError::TrailingData));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_trees_and_stamps() {
+        // Node with two empty children: tag 11 then 0 then 0.
+        let mut writer = BitWriter::new();
+        for bit in [Bit::One, Bit::One, Bit::Zero, Bit::Zero] {
+            writer.push(bit);
+        }
+        let bytes = writer.into_bytes();
+        assert!(matches!(decode_tree(&bytes), Err(DecodeError::Malformed(_))));
+
+        // A stamp whose update exceeds its id: encode manually and reject.
+        let bad = Stamp::from_parts_unchecked(tree("{0, 1}"), tree("{0}"));
+        let mut writer = BitWriter::new();
+        write_tree(bad.update_name(), &mut writer);
+        write_tree(bad.id_name(), &mut writer);
+        let bytes = writer.into_bytes();
+        assert!(matches!(decode_stamp(&bytes), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn bit_writer_and_reader_roundtrip() {
+        let mut writer = BitWriter::new();
+        let pattern = [Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::One, Bit::Zero, Bit::One];
+        for &bit in &pattern {
+            writer.push(bit);
+        }
+        assert_eq!(writer.bit_len(), pattern.len());
+        let bytes = writer.into_bytes();
+        let mut reader = BitReader::new(&bytes);
+        for &expected in &pattern {
+            assert_eq!(reader.read().unwrap(), expected);
+        }
+        assert_eq!(reader.position(), pattern.len());
+        assert!(reader.finish().is_ok());
+    }
+
+    #[test]
+    fn encoded_bits_track_tree_shape() {
+        assert_eq!(encoded_tree_bits(&NameTree::Empty), 1);
+        assert_eq!(encoded_tree_bits(&NameTree::Elem), 2);
+        assert_eq!(encoded_tree_bits(&tree("{0, 1}")), 2 + 2 + 2);
+        assert_eq!(encoded_tree_bits(&tree("{0}")), 2 + 2 + 1);
+    }
+}

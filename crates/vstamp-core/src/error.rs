@@ -1,0 +1,119 @@
+//! Error types for the version-stamp core crate.
+
+use core::fmt;
+
+use crate::name::Name;
+
+/// Error produced when constructing or validating a [`Stamp`](crate::Stamp).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StampError {
+    /// The id component is the empty name; a live element always owns at
+    /// least one identity string.
+    EmptyId,
+    /// Invariant I1 is violated: the update component is not dominated by
+    /// the id component.
+    UpdateExceedsId {
+        /// The offending update component.
+        update: Name,
+        /// The id component it should be dominated by.
+        id: Name,
+    },
+}
+
+impl fmt::Display for StampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StampError::EmptyId => f.write_str("stamp id component is the empty name"),
+            StampError::UpdateExceedsId { update, id } => {
+                write!(f, "stamp update component {update} is not dominated by id component {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StampError {}
+
+/// Error produced when applying an [`Operation`](crate::Operation) to a
+/// [`Configuration`](crate::Configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The operation referenced an element that is not part of the current
+    /// frontier.
+    UnknownElement(crate::ElementId),
+    /// A join operation named the same element twice.
+    JoinWithSelf(crate::ElementId),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownElement(id) => {
+                write!(f, "element {id} is not part of the current frontier")
+            }
+            ConfigError::JoinWithSelf(id) => {
+                write!(f, "cannot join element {id} with itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Error produced when decoding a stamp, name or tree from its compact
+/// binary encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// The decoded tree or name is not well formed (e.g. not an antichain).
+    Malformed(&'static str),
+    /// Trailing bits remained after the value was decoded.
+    TrailingData,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => f.write_str("unexpected end of encoded input"),
+            DecodeError::Malformed(what) => write!(f, "malformed encoded value: {what}"),
+            DecodeError::TrailingData => f.write_str("trailing data after encoded value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ElementId;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StampError::EmptyId;
+        assert!(e.to_string().starts_with("stamp id"));
+        let e = StampError::UpdateExceedsId {
+            update: "{1}".parse().unwrap(),
+            id: "{0}".parse().unwrap(),
+        };
+        assert!(e.to_string().contains("{1}"));
+        assert!(e.to_string().contains("{0}"));
+
+        let e = ConfigError::UnknownElement(ElementId::new(7));
+        assert!(e.to_string().contains('7'));
+        let e = ConfigError::JoinWithSelf(ElementId::new(3));
+        assert!(e.to_string().contains("itself"));
+
+        assert!(DecodeError::UnexpectedEnd.to_string().contains("end"));
+        assert!(DecodeError::Malformed("bad tag").to_string().contains("bad tag"));
+        assert!(DecodeError::TrailingData.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<StampError>();
+        assert_error::<ConfigError>();
+        assert_error::<DecodeError>();
+    }
+}

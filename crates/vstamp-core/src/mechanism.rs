@@ -1,0 +1,209 @@
+//! The common interface every causality-tracking mechanism implements.
+//!
+//! The paper compares version stamps with causal histories (the global-view
+//! specification) and positions them as a replacement for version vectors in
+//! dynamic settings. To drive all of these — plus the baselines and the
+//! Interval Tree Clock extension — over identical fork/join/update traces,
+//! every mechanism implements [`Mechanism`]. The replicated-system simulator
+//! and every experiment in the benchmark harness are generic over it.
+
+use core::fmt;
+
+use crate::relation::Relation;
+use crate::stamp::{Reduction, Stamp};
+use crate::name_like::NameLike;
+use crate::name::Name;
+use crate::tree::NameTree;
+
+/// A causality-tracking mechanism driven by fork/join/update transitions.
+///
+/// Implementations may keep private global state (`&mut self`) — the
+/// causal-history oracle allocates globally unique event identifiers, the
+/// version-vector baselines allocate replica identifiers. Version stamps
+/// need none, which is the paper's point; their implementation never touches
+/// `self`.
+pub trait Mechanism {
+    /// The per-element payload (a stamp, a version vector, a causal
+    /// history…).
+    type Element: Clone + fmt::Debug;
+
+    /// A short human-readable identifier used in reports and benchmarks.
+    fn mechanism_name(&self) -> &'static str;
+
+    /// The element of the initial single-replica configuration.
+    fn initial(&mut self) -> Self::Element;
+
+    /// The `update` transition: records a new update on the element.
+    fn update(&mut self, element: &Self::Element) -> Self::Element;
+
+    /// The `fork` transition: splits one element into two.
+    fn fork(&mut self, element: &Self::Element) -> (Self::Element, Self::Element);
+
+    /// The `join` transition: merges two elements into one.
+    fn join(&mut self, left: &Self::Element, right: &Self::Element) -> Self::Element;
+
+    /// Classifies two coexisting elements.
+    fn relation(&self, left: &Self::Element, right: &Self::Element) -> Relation;
+
+    /// An approximate wire size of the element, in bits; the space metric of
+    /// experiment E7.
+    fn size_bits(&self, element: &Self::Element) -> usize;
+
+    /// Convenience: synchronization as join followed by fork.
+    fn sync(&mut self, left: &Self::Element, right: &Self::Element) -> (Self::Element, Self::Element) {
+        let joined = self.join(left, right);
+        self.fork(&joined)
+    }
+}
+
+/// The version-stamp mechanism of the paper, generic over the name
+/// representation and parameterized by the [`Reduction`] policy.
+///
+/// # Examples
+///
+/// ```
+/// use vstamp_core::{Mechanism, Relation, TreeStampMechanism};
+///
+/// let mut mech = TreeStampMechanism::reducing();
+/// let root = mech.initial();
+/// let (a, b) = mech.fork(&root);
+/// let a = mech.update(&a);
+/// assert_eq!(mech.relation(&a, &b), Relation::Dominates);
+/// assert_eq!(mech.mechanism_name(), "version-stamps");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StampMechanism<N = NameTree> {
+    reduction: Reduction,
+    _marker: core::marker::PhantomData<N>,
+}
+
+impl<N: NameLike> StampMechanism<N> {
+    /// A mechanism that simplifies after every join (Section 6) — the
+    /// practical configuration.
+    #[must_use]
+    pub fn reducing() -> Self {
+        StampMechanism { reduction: Reduction::Reducing, _marker: core::marker::PhantomData }
+    }
+
+    /// The non-reducing model of Section 4, used as the proof baseline and
+    /// in the E9 ablation.
+    #[must_use]
+    pub fn non_reducing() -> Self {
+        StampMechanism { reduction: Reduction::NonReducing, _marker: core::marker::PhantomData }
+    }
+
+    /// A mechanism with an explicit policy.
+    #[must_use]
+    pub fn with_reduction(reduction: Reduction) -> Self {
+        StampMechanism { reduction, _marker: core::marker::PhantomData }
+    }
+
+    /// The reduction policy in force.
+    #[must_use]
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+}
+
+impl<N: NameLike> Mechanism for StampMechanism<N> {
+    type Element = Stamp<N>;
+
+    fn mechanism_name(&self) -> &'static str {
+        match self.reduction {
+            Reduction::Reducing => "version-stamps",
+            Reduction::NonReducing => "version-stamps-nonreducing",
+        }
+    }
+
+    fn initial(&mut self) -> Self::Element {
+        Stamp::seed()
+    }
+
+    fn update(&mut self, element: &Self::Element) -> Self::Element {
+        element.update()
+    }
+
+    fn fork(&mut self, element: &Self::Element) -> (Self::Element, Self::Element) {
+        element.fork()
+    }
+
+    fn join(&mut self, left: &Self::Element, right: &Self::Element) -> Self::Element {
+        left.join_with(right, self.reduction)
+    }
+
+    fn relation(&self, left: &Self::Element, right: &Self::Element) -> Relation {
+        left.relation(right)
+    }
+
+    fn size_bits(&self, element: &Self::Element) -> usize {
+        crate::encode::encoded_stamp_bits(&element.to_tree_stamp())
+    }
+}
+
+/// Version-stamp mechanism over the packed trie representation (the
+/// practical default).
+pub type TreeStampMechanism = StampMechanism<NameTree>;
+
+/// Version-stamp mechanism over the literal antichain representation; used
+/// by the `repr` ablation.
+pub type SetStampMechanism = StampMechanism<Name>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_mechanism_constructors() {
+        let reducing: TreeStampMechanism = StampMechanism::reducing();
+        assert_eq!(reducing.reduction(), Reduction::Reducing);
+        assert_eq!(reducing.mechanism_name(), "version-stamps");
+
+        let non_reducing: TreeStampMechanism = StampMechanism::non_reducing();
+        assert_eq!(non_reducing.reduction(), Reduction::NonReducing);
+        assert_eq!(non_reducing.mechanism_name(), "version-stamps-nonreducing");
+
+        let explicit: SetStampMechanism = StampMechanism::with_reduction(Reduction::Reducing);
+        assert_eq!(explicit.reduction(), Reduction::Reducing);
+        let default: TreeStampMechanism = StampMechanism::default();
+        assert_eq!(default.reduction(), Reduction::Reducing);
+    }
+
+    #[test]
+    fn stamp_mechanism_behaves_like_direct_stamp_calls() {
+        let mut mech: TreeStampMechanism = StampMechanism::reducing();
+        let root = mech.initial();
+        assert_eq!(root, Stamp::seed());
+
+        let (a, b) = mech.fork(&root);
+        assert_eq!((a.clone(), b.clone()), root.fork());
+
+        let a1 = mech.update(&a);
+        assert_eq!(a1, a.update());
+
+        let joined = mech.join(&a1, &b);
+        assert_eq!(joined, a1.join(&b));
+        assert_eq!(mech.relation(&a1, &b), a1.relation(&b));
+        assert!(mech.size_bits(&joined) > 0);
+    }
+
+    #[test]
+    fn non_reducing_mechanism_skips_simplification() {
+        let mut mech: TreeStampMechanism = StampMechanism::non_reducing();
+        let root = mech.initial();
+        let (a, b) = mech.fork(&root);
+        let joined = mech.join(&a, &b);
+        assert_eq!(joined, a.join_non_reducing(&b));
+        assert_ne!(joined, root);
+    }
+
+    #[test]
+    fn default_sync_is_join_then_fork() {
+        let mut mech: TreeStampMechanism = StampMechanism::reducing();
+        let root = mech.initial();
+        let (a, b) = mech.fork(&root);
+        let a = mech.update(&a);
+        let (x, y) = mech.sync(&a, &b);
+        let expected = a.join(&b).fork();
+        assert_eq!((x, y), expected);
+    }
+}

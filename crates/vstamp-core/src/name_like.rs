@@ -1,0 +1,245 @@
+//! Abstraction over the two name representations.
+//!
+//! The paper defines names abstractly (Definition 4.1); this crate ships two
+//! concrete representations — the literal antichain set [`Name`] and the
+//! packed trie [`NameTree`] — and the stamp machinery is generic over them
+//! through [`NameLike`]. The `repr` ablation bench compares the two.
+
+use crate::bitstring::Bit;
+use crate::name::Name;
+use crate::relation::Relation;
+use crate::tree::NameTree;
+
+mod private {
+    /// Seals [`super::NameLike`]: the stamp algebra is only meaningful for
+    /// representations proven isomorphic to Definition 4.1, so downstream
+    /// crates cannot add their own.
+    pub trait Sealed {}
+    impl Sealed for crate::name::Name {}
+    impl Sealed for crate::tree::NameTree {}
+}
+
+/// Operations a name representation must provide to back a
+/// [`Stamp`](crate::Stamp).
+///
+/// This trait is sealed: it is implemented exactly for [`Name`] and
+/// [`NameTree`], the two representations shipped by this crate.
+pub trait NameLike: Clone + Eq + core::fmt::Debug + core::fmt::Display + private::Sealed {
+    /// The empty name `{}` (bottom of the semilattice).
+    fn empty() -> Self;
+
+    /// The name `{ε}` (identity of the initial element).
+    fn epsilon() -> Self;
+
+    /// The order `⊑` (down-set inclusion).
+    fn leq(&self, other: &Self) -> bool;
+
+    /// The semilattice join `⊔`.
+    fn join(&self, other: &Self) -> Self;
+
+    /// The lifted concatenation `n·x` used by fork.
+    fn append(&self, bit: Bit) -> Self;
+
+    /// Whether the name is `{}`.
+    fn is_empty(&self) -> bool;
+
+    /// Whether the name is exactly `{ε}`.
+    fn is_epsilon(&self) -> bool;
+
+    /// Number of strings in the antichain.
+    fn string_count(&self) -> usize;
+
+    /// Total bits across all strings (space metric of experiment E7).
+    fn bit_size(&self) -> usize;
+
+    /// Length of the longest string.
+    fn depth(&self) -> usize;
+
+    /// Converts to the explicit antichain representation.
+    fn to_name(&self) -> Name;
+
+    /// Builds from the explicit antichain representation.
+    fn from_name(name: &Name) -> Self;
+
+    /// Applies the simplification rule of Section 6 to the `(update, id)`
+    /// pair until it no longer applies, returning the normal form.
+    fn reduce_pair(update: &Self, id: &Self) -> (Self, Self);
+
+    /// Classifies two names under the pre-order induced by `⊑`.
+    fn relation(&self, other: &Self) -> Relation {
+        Relation::from_leq(self.leq(other), other.leq(self))
+    }
+}
+
+impl NameLike for Name {
+    fn empty() -> Self {
+        Name::empty()
+    }
+
+    fn epsilon() -> Self {
+        Name::epsilon()
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        Name::leq(self, other)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Name::join(self, other)
+    }
+
+    fn append(&self, bit: Bit) -> Self {
+        Name::append(self, bit)
+    }
+
+    fn is_empty(&self) -> bool {
+        Name::is_empty(self)
+    }
+
+    fn is_epsilon(&self) -> bool {
+        Name::is_epsilon(self)
+    }
+
+    fn string_count(&self) -> usize {
+        Name::len(self)
+    }
+
+    fn bit_size(&self) -> usize {
+        Name::bit_size(self)
+    }
+
+    fn depth(&self) -> usize {
+        Name::depth(self)
+    }
+
+    fn to_name(&self) -> Name {
+        self.clone()
+    }
+
+    fn from_name(name: &Name) -> Self {
+        name.clone()
+    }
+
+    fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
+        crate::simplify::reduce_name_pair(update, id)
+    }
+}
+
+impl NameLike for NameTree {
+    fn empty() -> Self {
+        NameTree::empty()
+    }
+
+    fn epsilon() -> Self {
+        NameTree::epsilon()
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        NameTree::leq(self, other)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        NameTree::join(self, other)
+    }
+
+    fn append(&self, bit: Bit) -> Self {
+        NameTree::append(self, bit)
+    }
+
+    fn is_empty(&self) -> bool {
+        NameTree::is_empty(self)
+    }
+
+    fn is_epsilon(&self) -> bool {
+        NameTree::is_epsilon(self)
+    }
+
+    fn string_count(&self) -> usize {
+        NameTree::string_count(self)
+    }
+
+    fn bit_size(&self) -> usize {
+        NameTree::bit_size(self)
+    }
+
+    fn depth(&self) -> usize {
+        NameTree::depth(self)
+    }
+
+    fn to_name(&self) -> Name {
+        NameTree::to_name(self)
+    }
+
+    fn from_name(name: &Name) -> Self {
+        NameTree::from_name(name)
+    }
+
+    fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
+        NameTree::reduce_pair(update, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Name> {
+        ["{}", "{ε}", "{0}", "{1}", "{0, 1}", "{01, 1}", "{00, 011}", "{000, 011, 1}"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect()
+    }
+
+    /// Every `NameLike` operation must commute with the conversion between
+    /// the two representations.
+    fn check_agreement<A: NameLike, B: NameLike>() {
+        let names = samples();
+        assert_eq!(A::empty().to_name(), B::empty().to_name());
+        assert_eq!(A::epsilon().to_name(), B::epsilon().to_name());
+        for n in &names {
+            let a = A::from_name(n);
+            let b = B::from_name(n);
+            assert_eq!(a.to_name(), b.to_name());
+            assert_eq!(a.is_empty(), b.is_empty());
+            assert_eq!(a.is_epsilon(), b.is_epsilon());
+            assert_eq!(a.string_count(), b.string_count());
+            assert_eq!(a.bit_size(), b.bit_size());
+            assert_eq!(a.depth(), b.depth());
+            for bit in [Bit::Zero, Bit::One] {
+                assert_eq!(a.append(bit).to_name(), b.append(bit).to_name());
+            }
+            for m in &names {
+                let am = A::from_name(m);
+                let bm = B::from_name(m);
+                assert_eq!(a.leq(&am), b.leq(&bm), "leq mismatch {n} vs {m}");
+                assert_eq!(a.relation(&am), b.relation(&bm));
+                assert_eq!(a.join(&am).to_name(), b.join(&bm).to_name());
+                if am.leq(&a) {
+                    let (ua, ia) = A::reduce_pair(&am, &a);
+                    let (ub, ib) = B::reduce_pair(&bm, &b);
+                    assert_eq!(ua.to_name(), ub.to_name(), "reduce update mismatch ({m}, {n})");
+                    assert_eq!(ia.to_name(), ib.to_name(), "reduce id mismatch ({m}, {n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_tree_representations_agree() {
+        check_agreement::<Name, NameTree>();
+    }
+
+    #[test]
+    fn trait_impl_delegates_for_name() {
+        let n = <Name as NameLike>::epsilon();
+        assert!(n.is_epsilon());
+        assert_eq!(<Name as NameLike>::empty().string_count(), 0);
+    }
+
+    #[test]
+    fn trait_impl_delegates_for_tree() {
+        let n = <NameTree as NameLike>::epsilon();
+        assert!(n.is_epsilon());
+        assert_eq!(<NameTree as NameLike>::empty().bit_size(), 0);
+    }
+}

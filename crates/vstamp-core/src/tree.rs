@@ -1,0 +1,730 @@
+//! Binary-trie encoding of names.
+//!
+//! [`NameTree`] is an isomorphic, packed representation of [`Name`]
+//! (antichains of binary strings). Every antichain maps to a unique canonical
+//! trie in which:
+//!
+//! * [`NameTree::Elem`] marks a leaf whose root-to-node path is an element of
+//!   the antichain (elements can only be leaves because an antichain cannot
+//!   contain both a string and one of its extensions);
+//! * [`NameTree::Empty`] marks a subtree containing no element;
+//! * [`NameTree::Node`] has at least one non-empty child (the smart
+//!   constructor [`NameTree::node`] collapses `Node(Empty, Empty)` to
+//!   `Empty`).
+//!
+//! The trie form makes the semilattice operations (`⊑`, `⊔`), the fork
+//! construction (appending a bit) and — crucially — the simplification rule
+//! of Section 6 linear in the size of the trees, instead of quadratic in the
+//! number of strings as in the set representation. The reproduction keeps
+//! both representations and property-tests that every operation commutes
+//! with the conversion (`repr` ablation bench).
+//!
+//! This encoding is the calibration hint's "enums fit tree encoding well"
+//! and is the direct ancestor of the id trees of Interval Tree Clocks
+//! (implemented in the `vstamp-itc` crate).
+//!
+//! # Examples
+//!
+//! ```
+//! use vstamp_core::{Name, NameTree};
+//!
+//! let name: Name = "{00, 011, 1}".parse()?;
+//! let tree = NameTree::from_name(&name);
+//! assert_eq!(tree.to_name(), name);
+//! assert_eq!(tree.string_count(), 3);
+//! # Ok::<(), vstamp_core::ParseNameError>(())
+//! ```
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::bitstring::{Bit, BitString};
+use crate::name::{Name, ParseNameError};
+use crate::relation::Relation;
+
+/// Binary-trie representation of a name (finite antichain of binary
+/// strings). See the [module documentation](self) for the encoding.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NameTree {
+    /// No element in this subtree.
+    #[default]
+    Empty,
+    /// The path from the root to this node is an element of the antichain.
+    Elem,
+    /// An interior node; the path to this node is *not* an element, but some
+    /// descendant path is (in canonical form).
+    Node(Box<NameTree>, Box<NameTree>),
+}
+
+impl NameTree {
+    /// The empty name `{}`.
+    #[must_use]
+    pub fn empty() -> Self {
+        NameTree::Empty
+    }
+
+    /// The name `{ε}`: the identity of the initial element of a system.
+    #[must_use]
+    pub fn epsilon() -> Self {
+        NameTree::Elem
+    }
+
+    /// Smart constructor for interior nodes that keeps trees canonical by
+    /// collapsing `Node(Empty, Empty)` into `Empty`.
+    ///
+    /// It deliberately does **not** collapse `Node(Elem, Elem)` into `Elem`:
+    /// `{s0, s1}` and `{s}` are *different* names (the former strictly
+    /// dominates the latter); only the simplification rule of Section 6 —
+    /// [`NameTree::reduce_pair`] — may perform that rewrite, because it is a
+    /// semantic change justified by frontier-order preservation.
+    #[must_use]
+    pub fn node(zero: NameTree, one: NameTree) -> Self {
+        if matches!(zero, NameTree::Empty) && matches!(one, NameTree::Empty) {
+            NameTree::Empty
+        } else {
+            NameTree::Node(Box::new(zero), Box::new(one))
+        }
+    }
+
+    /// Returns `true` when the tree contains no element.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            NameTree::Empty => true,
+            NameTree::Elem => false,
+            NameTree::Node(zero, one) => zero.is_empty() && one.is_empty(),
+        }
+    }
+
+    /// Returns `true` when the tree is exactly `{ε}`.
+    #[must_use]
+    pub fn is_epsilon(&self) -> bool {
+        matches!(self, NameTree::Elem)
+    }
+
+    /// Returns `true` when the tree is in canonical form: no
+    /// `Node(Empty, Empty)` anywhere.
+    #[must_use]
+    pub fn is_canonical(&self) -> bool {
+        match self {
+            NameTree::Empty | NameTree::Elem => true,
+            NameTree::Node(zero, one) => {
+                !(zero.is_empty() && one.is_empty()) && zero.is_canonical() && one.is_canonical()
+            }
+        }
+    }
+
+    /// Rebuilds the tree in canonical form. All public constructors already
+    /// produce canonical trees; this is useful after decoding untrusted
+    /// input.
+    #[must_use]
+    pub fn canonicalize(&self) -> NameTree {
+        match self {
+            NameTree::Empty => NameTree::Empty,
+            NameTree::Elem => NameTree::Elem,
+            NameTree::Node(zero, one) => NameTree::node(zero.canonicalize(), one.canonicalize()),
+        }
+    }
+
+    /// The subtree for the given branch. `Empty` and `Elem` have empty
+    /// subtrees on both branches.
+    #[must_use]
+    pub fn branch(&self, bit: Bit) -> &NameTree {
+        match self {
+            NameTree::Node(zero, one) => match bit {
+                Bit::Zero => zero,
+                Bit::One => one,
+            },
+            _ => &NameTree::Empty,
+        }
+    }
+
+    /// The order `⊑` on names: down-set inclusion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, NameTree};
+    /// let a = NameTree::from_name(&"{00, 011}".parse::<Name>().unwrap());
+    /// let b = NameTree::from_name(&"{000, 011, 1}".parse::<Name>().unwrap());
+    /// assert!(a.leq(&b));
+    /// assert!(!b.leq(&a));
+    /// ```
+    #[must_use]
+    pub fn leq(&self, other: &NameTree) -> bool {
+        match (self, other) {
+            (NameTree::Empty, _) => true,
+            (_, NameTree::Empty) => self.is_empty(),
+            (NameTree::Elem, other) => !other.is_empty(),
+            (NameTree::Node(zero, one), NameTree::Elem) => zero.is_empty() && one.is_empty(),
+            (NameTree::Node(zero, one), NameTree::Node(other_zero, other_one)) => {
+                zero.leq(other_zero) && one.leq(other_one)
+            }
+        }
+    }
+
+    /// Strict version of [`NameTree::leq`].
+    #[must_use]
+    pub fn lt(&self, other: &NameTree) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Classifies the pair under the pre-order induced by `⊑`.
+    #[must_use]
+    pub fn relation(&self, other: &NameTree) -> Relation {
+        Relation::from_leq(self.leq(other), other.leq(self))
+    }
+
+    /// The semilattice join `⊔`: maximal elements of the union (union of
+    /// down-sets).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, NameTree};
+    /// let a = NameTree::from_name(&"{00, 011}".parse::<Name>().unwrap());
+    /// let b = NameTree::from_name(&"{000, 01, 1}".parse::<Name>().unwrap());
+    /// let expected = NameTree::from_name(&"{000, 011, 1}".parse::<Name>().unwrap());
+    /// assert_eq!(a.join(&b), expected);
+    /// ```
+    #[must_use]
+    pub fn join(&self, other: &NameTree) -> NameTree {
+        match (self, other) {
+            (NameTree::Empty, n) | (n, NameTree::Empty) => n.clone(),
+            (NameTree::Elem, n) | (n, NameTree::Elem) => {
+                if n.is_empty() {
+                    NameTree::Elem
+                } else {
+                    n.clone()
+                }
+            }
+            (NameTree::Node(zero, one), NameTree::Node(other_zero, other_one)) => {
+                NameTree::node(zero.join(other_zero), one.join(other_one))
+            }
+        }
+    }
+
+    /// Appends `bit` to every string of the name — the lifted concatenation
+    /// used by fork. In trie form this pushes every `Elem` leaf one level
+    /// down on the `bit` branch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Bit, Name, NameTree};
+    /// let n = NameTree::from_name(&"{0, 11}".parse::<Name>().unwrap());
+    /// assert_eq!(n.append(Bit::One).to_name(), "{01, 111}".parse::<Name>().unwrap());
+    /// ```
+    #[must_use]
+    pub fn append(&self, bit: Bit) -> NameTree {
+        match self {
+            NameTree::Empty => NameTree::Empty,
+            NameTree::Elem => match bit {
+                Bit::Zero => NameTree::node(NameTree::Elem, NameTree::Empty),
+                Bit::One => NameTree::node(NameTree::Empty, NameTree::Elem),
+            },
+            NameTree::Node(zero, one) => NameTree::node(zero.append(bit), one.append(bit)),
+        }
+    }
+
+    /// Returns `true` when the antichain contains exactly the string `s`
+    /// (membership, not domination).
+    #[must_use]
+    pub fn contains(&self, s: &BitString) -> bool {
+        let mut node = self;
+        for bit in s.iter() {
+            match node {
+                NameTree::Node(zero, one) => {
+                    node = match bit {
+                        Bit::Zero => zero,
+                        Bit::One => one,
+                    };
+                }
+                _ => return false,
+            }
+        }
+        matches!(node, NameTree::Elem)
+    }
+
+    /// Returns `true` when `{s} ⊑ self`, i.e. some element of the antichain
+    /// has `s` as a prefix.
+    #[must_use]
+    pub fn dominates_string(&self, s: &BitString) -> bool {
+        let mut node = self;
+        for bit in s.iter() {
+            match node {
+                NameTree::Empty => return false,
+                NameTree::Elem => return false,
+                NameTree::Node(zero, one) => {
+                    node = match bit {
+                        Bit::Zero => zero,
+                        Bit::One => one,
+                    };
+                }
+            }
+        }
+        !node.is_empty()
+    }
+
+    /// Number of strings in the antichain (number of `Elem` leaves).
+    #[must_use]
+    pub fn string_count(&self) -> usize {
+        match self {
+            NameTree::Empty => 0,
+            NameTree::Elem => 1,
+            NameTree::Node(zero, one) => zero.string_count() + one.string_count(),
+        }
+    }
+
+    /// Total number of bits across all strings of the antichain, matching
+    /// [`Name::bit_size`] on the corresponding antichain.
+    #[must_use]
+    pub fn bit_size(&self) -> usize {
+        fn walk(tree: &NameTree, depth: usize) -> usize {
+            match tree {
+                NameTree::Empty => 0,
+                NameTree::Elem => depth,
+                NameTree::Node(zero, one) => walk(zero, depth + 1) + walk(one, depth + 1),
+            }
+        }
+        walk(self, 0)
+    }
+
+    /// Number of nodes of the trie (all three variants counted) — the
+    /// natural space metric for this representation.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match self {
+            NameTree::Empty | NameTree::Elem => 1,
+            NameTree::Node(zero, one) => 1 + zero.node_count() + one.node_count(),
+        }
+    }
+
+    /// Depth of the deepest element (length of the longest string).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            NameTree::Empty | NameTree::Elem => 0,
+            NameTree::Node(zero, one) => {
+                let z = if zero.is_empty() { None } else { Some(zero.depth() + 1) };
+                let o = if one.is_empty() { None } else { Some(one.depth() + 1) };
+                z.max(o).unwrap_or(0)
+            }
+        }
+    }
+
+    /// Converts the antichain set representation into the trie form.
+    #[must_use]
+    pub fn from_name(name: &Name) -> NameTree {
+        let mut tree = NameTree::Empty;
+        for s in name.iter() {
+            tree = tree.with_string_inserted(s, 0);
+        }
+        tree
+    }
+
+    fn with_string_inserted(&self, s: &BitString, index: usize) -> NameTree {
+        if index == s.len() {
+            // The inserted string ends here. Inserting into an antichain that
+            // already has elements below would break well-formedness, but
+            // `Name` guarantees antichains so the subtree must be empty.
+            return NameTree::Elem;
+        }
+        let bit = s.get(index).expect("index bounded by length");
+        let (zero, one) = match self {
+            NameTree::Node(zero, one) => ((**zero).clone(), (**one).clone()),
+            _ => (NameTree::Empty, NameTree::Empty),
+        };
+        match bit {
+            Bit::Zero => NameTree::node(zero.with_string_inserted(s, index + 1), one),
+            Bit::One => NameTree::node(zero, one.with_string_inserted(s, index + 1)),
+        }
+    }
+
+    /// Converts the trie back into the explicit antichain representation.
+    #[must_use]
+    pub fn to_name(&self) -> Name {
+        let mut out = Vec::new();
+        self.collect_strings(&mut BitString::empty(), &mut out);
+        Name::from_strings(out)
+    }
+
+    fn collect_strings(&self, prefix: &mut BitString, out: &mut Vec<BitString>) {
+        match self {
+            NameTree::Empty => {}
+            NameTree::Elem => out.push(prefix.clone()),
+            NameTree::Node(zero, one) => {
+                prefix.push(Bit::Zero);
+                zero.collect_strings(prefix, out);
+                prefix.pop();
+                prefix.push(Bit::One);
+                one.collect_strings(prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+
+    /// Iterates over the strings of the antichain (leftmost first).
+    #[must_use]
+    pub fn strings(&self) -> Vec<BitString> {
+        let mut out = Vec::new();
+        self.collect_strings(&mut BitString::empty(), &mut out);
+        out
+    }
+
+    /// Applies the simplification rule of Section 6 to a stamp given as the
+    /// pair `(update, id)`, returning the fully reduced pair (the normal
+    /// form: the rule is confluent and terminating).
+    ///
+    /// The rewriting collapses, in the id, any pair of sibling strings
+    /// `s·0, s·1` into `s`; when either sibling is itself an element of the
+    /// update, the update is rewritten likewise. In trie terms: a node of the
+    /// id whose children have both reduced to `Elem` becomes `Elem`, and the
+    /// corresponding update node becomes `Elem` when either of its children
+    /// is `Elem`.
+    ///
+    /// # Examples
+    ///
+    /// Joining the two halves of a fork recovers the original identity:
+    ///
+    /// ```
+    /// use vstamp_core::{Name, NameTree};
+    /// let update = NameTree::from_name(&"{01}".parse::<Name>().unwrap());
+    /// let id = NameTree::from_name(&"{00, 01}".parse::<Name>().unwrap());
+    /// let (u, i) = NameTree::reduce_pair(&update, &id);
+    /// assert_eq!(i.to_name(), "{0}".parse::<Name>().unwrap());
+    /// assert_eq!(u.to_name(), "{0}".parse::<Name>().unwrap());
+    /// ```
+    #[must_use]
+    pub fn reduce_pair(update: &NameTree, id: &NameTree) -> (NameTree, NameTree) {
+        match id {
+            NameTree::Empty | NameTree::Elem => (update.clone(), id.clone()),
+            NameTree::Node(id_zero, id_one) => match update {
+                NameTree::Node(up_zero, up_one) => {
+                    let (u0, i0) = NameTree::reduce_pair(up_zero, id_zero);
+                    let (u1, i1) = NameTree::reduce_pair(up_one, id_one);
+                    if matches!(i0, NameTree::Elem) && matches!(i1, NameTree::Elem) {
+                        let update = if matches!(u0, NameTree::Elem) || matches!(u1, NameTree::Elem) {
+                            NameTree::Elem
+                        } else {
+                            NameTree::node(u0, u1)
+                        };
+                        (update, NameTree::Elem)
+                    } else {
+                        (NameTree::node(u0, u1), NameTree::node(i0, i1))
+                    }
+                }
+                // The update has no element strictly below this node, so the
+                // rewriting can only affect the id here.
+                NameTree::Empty | NameTree::Elem => {
+                    let (_, i0) = NameTree::reduce_pair(&NameTree::Empty, id_zero);
+                    let (_, i1) = NameTree::reduce_pair(&NameTree::Empty, id_one);
+                    if matches!(i0, NameTree::Elem) && matches!(i1, NameTree::Elem) {
+                        (update.clone(), NameTree::Elem)
+                    } else {
+                        (update.clone(), NameTree::node(i0, i1))
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for NameTree {
+    /// Displays the antichain the tree denotes, in the paper's set notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_name())
+    }
+}
+
+impl fmt::Debug for NameTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTree::Empty => f.write_str("∅"),
+            NameTree::Elem => f.write_str("•"),
+            NameTree::Node(zero, one) => write!(f, "({zero:?}, {one:?})"),
+        }
+    }
+}
+
+impl From<&Name> for NameTree {
+    fn from(name: &Name) -> Self {
+        NameTree::from_name(name)
+    }
+}
+
+impl From<Name> for NameTree {
+    fn from(name: Name) -> Self {
+        NameTree::from_name(&name)
+    }
+}
+
+impl From<&NameTree> for Name {
+    fn from(tree: &NameTree) -> Self {
+        tree.to_name()
+    }
+}
+
+impl From<NameTree> for Name {
+    fn from(tree: NameTree) -> Self {
+        tree.to_name()
+    }
+}
+
+impl FromStr for NameTree {
+    type Err = ParseNameError;
+
+    /// Parses the same `{…}` syntax as [`Name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(NameTree::from_name(&s.parse::<Name>()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().expect("valid name literal")
+    }
+
+    fn tree(s: &str) -> NameTree {
+        s.parse().expect("valid name literal")
+    }
+
+    const SAMPLES: &[&str] = &[
+        "{}",
+        "{ε}",
+        "{0}",
+        "{1}",
+        "{0, 1}",
+        "{01}",
+        "{01, 1}",
+        "{00, 011}",
+        "{000, 011, 1}",
+        "{00, 01, 10, 11}",
+        "{000, 001, 01, 1}",
+        "{0110, 0111, 010, 00, 1}",
+    ];
+
+    #[test]
+    fn conversion_roundtrips() {
+        for lit in SAMPLES {
+            let n = name(lit);
+            let t = NameTree::from_name(&n);
+            assert!(t.is_canonical(), "{lit} not canonical: {t:?}");
+            assert_eq!(t.to_name(), n, "roundtrip failed for {lit}");
+            let back: NameTree = NameTree::from(&n);
+            assert_eq!(back, t);
+            let n2: Name = Name::from(&t);
+            assert_eq!(n2, n);
+        }
+    }
+
+    #[test]
+    fn leq_agrees_with_name_leq() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let (na, nb) = (name(a), name(b));
+                let (ta, tb) = (tree(a), tree(b));
+                assert_eq!(ta.leq(&tb), na.leq(&nb), "leq mismatch for {a} vs {b}");
+                assert_eq!(ta.lt(&tb), na.lt(&nb), "lt mismatch for {a} vs {b}");
+                assert_eq!(ta.relation(&tb), na.relation(&nb));
+            }
+        }
+    }
+
+    #[test]
+    fn join_agrees_with_name_join() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let expected = NameTree::from_name(&name(a).join(&name(b)));
+                let actual = tree(a).join(&tree(b));
+                assert_eq!(actual, expected, "join mismatch for {a} ⊔ {b}");
+                assert!(actual.is_canonical());
+            }
+        }
+    }
+
+    #[test]
+    fn append_agrees_with_name_append() {
+        for a in SAMPLES {
+            for bit in [Bit::Zero, Bit::One] {
+                let expected = NameTree::from_name(&name(a).append(bit));
+                assert_eq!(tree(a).append(bit), expected, "append mismatch for {a}·{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_and_domination_agree_with_name() {
+        let strings = ["ε", "0", "1", "00", "01", "011", "0110", "10", "111"];
+        for a in SAMPLES {
+            let (n, t) = (name(a), tree(a));
+            for s in strings {
+                let bs: BitString = s.parse().unwrap();
+                assert_eq!(t.contains(&bs), n.contains(&bs), "contains mismatch {a} / {s}");
+                assert_eq!(
+                    t.dominates_string(&bs),
+                    n.dominates_string(&bs),
+                    "dominates mismatch {a} / {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_metrics_agree_with_name() {
+        for a in SAMPLES {
+            let (n, t) = (name(a), tree(a));
+            assert_eq!(t.string_count(), n.len(), "string_count mismatch for {a}");
+            assert_eq!(t.bit_size(), n.bit_size(), "bit_size mismatch for {a}");
+            assert_eq!(t.depth(), n.depth(), "depth mismatch for {a}");
+            assert!(t.node_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(NameTree::empty().is_empty());
+        assert!(!NameTree::epsilon().is_empty());
+        assert!(NameTree::epsilon().is_epsilon());
+        assert!(!NameTree::empty().is_epsilon());
+        assert_eq!(NameTree::empty().to_name(), Name::empty());
+        assert_eq!(NameTree::epsilon().to_name(), Name::epsilon());
+        assert_eq!(NameTree::default(), NameTree::Empty);
+    }
+
+    #[test]
+    fn node_smart_constructor_collapses_empty_pairs() {
+        assert_eq!(NameTree::node(NameTree::Empty, NameTree::Empty), NameTree::Empty);
+        let keeps = NameTree::node(NameTree::Elem, NameTree::Elem);
+        assert!(matches!(keeps, NameTree::Node(_, _)), "Node(Elem, Elem) must NOT collapse");
+        assert_eq!(keeps.to_name(), name("{0, 1}"));
+    }
+
+    #[test]
+    fn canonicalize_fixes_decoded_trees() {
+        let bad = NameTree::Node(
+            Box::new(NameTree::Node(Box::new(NameTree::Empty), Box::new(NameTree::Empty))),
+            Box::new(NameTree::Elem),
+        );
+        assert!(!bad.is_canonical());
+        let fixed = bad.canonicalize();
+        assert!(fixed.is_canonical());
+        assert_eq!(fixed.to_name(), name("{1}"));
+        assert!(bad.is_empty() == false);
+    }
+
+    #[test]
+    fn branch_access() {
+        let t = tree("{00, 01, 1}");
+        assert_eq!(t.branch(Bit::One), &NameTree::Elem);
+        assert_eq!(t.branch(Bit::Zero).to_name(), name("{0, 1}"));
+        assert_eq!(NameTree::Elem.branch(Bit::Zero), &NameTree::Empty);
+        assert_eq!(NameTree::Empty.branch(Bit::One), &NameTree::Empty);
+    }
+
+    #[test]
+    fn reduce_pair_collapses_sibling_forks() {
+        // id {00, 01} with update {01}: both collapse to {0}.
+        let (u, i) = NameTree::reduce_pair(&tree("{01}"), &tree("{00, 01}"));
+        assert_eq!(i.to_name(), name("{0}"));
+        assert_eq!(u.to_name(), name("{0}"));
+
+        // id {0, 1} with update {1}: collapse to ε.
+        let (u, i) = NameTree::reduce_pair(&tree("{1}"), &tree("{0, 1}"));
+        assert_eq!(i, NameTree::Elem);
+        assert_eq!(u, NameTree::Elem);
+
+        // update not mentioning either sibling is untouched.
+        let (u, i) = NameTree::reduce_pair(&tree("{}"), &tree("{0, 1}"));
+        assert_eq!(i, NameTree::Elem);
+        assert_eq!(u, NameTree::Empty);
+    }
+
+    #[test]
+    fn reduce_pair_cascades() {
+        // id {000, 001, 01, 1} collapses all the way to {ε};
+        // update {001} follows the first collapse and then the cascade.
+        let (u, i) = NameTree::reduce_pair(&tree("{001}"), &tree("{000, 001, 01, 1}"));
+        assert_eq!(i, NameTree::Elem);
+        assert_eq!(u, NameTree::Elem);
+
+        // Same id, but the update names no collapsed sibling: update unchanged.
+        let (u, i) = NameTree::reduce_pair(&tree("{}"), &tree("{000, 001, 01, 1}"));
+        assert_eq!(i, NameTree::Elem);
+        assert_eq!(u, NameTree::Empty);
+    }
+
+    #[test]
+    fn reduce_pair_leaves_non_siblings_alone() {
+        // {00, 1} has no sibling pair: nothing to do.
+        let (u, i) = NameTree::reduce_pair(&tree("{00}"), &tree("{00, 1}"));
+        assert_eq!(i.to_name(), name("{00, 1}"));
+        assert_eq!(u.to_name(), name("{00}"));
+
+        // Figure 4 final join: update {0·0, 0·1·1?}… use the concrete case
+        // {00, 011}: not siblings, untouched.
+        let (u, i) = NameTree::reduce_pair(&tree("{011}"), &tree("{00, 011}"));
+        assert_eq!(i.to_name(), name("{00, 011}"));
+        assert_eq!(u.to_name(), name("{011}"));
+    }
+
+    #[test]
+    fn reduce_pair_never_increases_either_component() {
+        for u in SAMPLES {
+            for i in SAMPLES {
+                let (ut, it) = (tree(u), tree(i));
+                // only meaningful when the invariant u ⊑ i holds
+                if !ut.leq(&it) {
+                    continue;
+                }
+                let (ru, ri) = NameTree::reduce_pair(&ut, &it);
+                assert!(ru.leq(&ut), "update grew: {u} → {ru}");
+                assert!(ri.leq(&it), "id grew: {i} → {ri}");
+                assert!(ru.leq(&ri), "invariant I1 broken by reduce: {ru} ⋢ {ri}");
+                assert!(ru.is_canonical() && ri.is_canonical());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_pair_is_idempotent() {
+        for u in SAMPLES {
+            for i in SAMPLES {
+                let (ut, it) = (tree(u), tree(i));
+                if !ut.leq(&it) {
+                    continue;
+                }
+                let (ru, ri) = NameTree::reduce_pair(&ut, &it);
+                let (ru2, ri2) = NameTree::reduce_pair(&ru, &ri);
+                assert_eq!(ru, ru2, "reduce not idempotent on update for ({u}, {i})");
+                assert_eq!(ri, ri2, "reduce not idempotent on id for ({u}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_parse() {
+        for lit in SAMPLES {
+            let t = tree(lit);
+            assert_eq!(t.to_string(), name(lit).to_string());
+        }
+        assert!("{0,".parse::<NameTree>().is_err());
+        let debug = format!("{:?}", tree("{0, 1}"));
+        assert!(debug.contains('•'));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_roundtrip() {
+        for lit in SAMPLES {
+            let t = tree(lit);
+            let json = serde_json::to_string(&t).unwrap();
+            let back: NameTree = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: Interval Tree Clocks induce the same frontier pre-order
+//! as causal histories (and hence as version stamps) on random
+//! fork/join/update traces, and the event-tree semilattice laws hold.
+
+use proptest::prelude::*;
+use vstamp_core::causal::CausalMechanism;
+use vstamp_core::{Configuration, Mechanism, Operation, Trace};
+use vstamp_itc::{EventTree, ItcMechanism};
+
+type Script = Vec<(u8, u8, u8)>;
+
+fn script(max_len: usize) -> impl Strategy<Value = Script> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..=max_len)
+}
+
+fn run_script<M: Mechanism>(mechanism: M, script: &Script) -> (Configuration<M>, Trace) {
+    let mut config = Configuration::new(mechanism);
+    let mut trace = Trace::new();
+    for &(kind, x, y) in script {
+        let ids = config.ids();
+        let pick = |sel: u8| ids[sel as usize % ids.len()];
+        let op = match kind % 3 {
+            0 => Operation::Update(pick(x)),
+            1 => Operation::Fork(pick(x)),
+            _ if ids.len() >= 2 => {
+                let a = pick(x);
+                let b = pick(y);
+                if a == b {
+                    Operation::Join(a, *ids.iter().find(|&&i| i != a).expect("len >= 2"))
+                } else {
+                    Operation::Join(a, b)
+                }
+            }
+            _ => Operation::Fork(pick(x)),
+        };
+        config.apply(op).expect("scripted operation applies");
+        trace.push(op);
+    }
+    (config, trace)
+}
+
+/// Strategy for small normalized event trees.
+fn event_tree(depth: u32) -> impl Strategy<Value = EventTree> {
+    let leaf = (0u64..6).prop_map(EventTree::leaf);
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        ((0u64..4), inner.clone(), inner).prop_map(|(base, l, r)| EventTree::node(base, l, r))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ITC agrees with the causal-history oracle on random traces.
+    #[test]
+    fn itc_agrees_with_causal_histories(script in script(35)) {
+        let (causal, trace) = run_script(CausalMechanism::new(), &script);
+        let mut itc = Configuration::new(ItcMechanism::new());
+        itc.apply_trace(&trace).expect("trace replays");
+        prop_assert_eq!(itc.ids(), causal.ids());
+        for (a, b, expected) in causal.pairwise_relations() {
+            prop_assert_eq!(itc.relation(a, b).expect("same ids"), expected,
+                "ITC mismatch at ({}, {})", a, b);
+        }
+    }
+
+    /// Identities of the live frontier are always pairwise disjoint and sum
+    /// to full ownership.
+    #[test]
+    fn frontier_identities_partition_the_interval(script in script(30)) {
+        let (itc, _trace) = run_script(ItcMechanism::new(), &script);
+        let stamps: Vec<_> = itc.iter().map(|(_, s)| s.clone()).collect();
+        for (i, a) in stamps.iter().enumerate() {
+            for b in stamps.iter().skip(i + 1) {
+                prop_assert!(a.id().is_disjoint_with(b.id()));
+            }
+        }
+        let total = stamps.iter().fold(vstamp_itc::IdTree::zero(), |acc, s| acc.sum(s.id()));
+        prop_assert!(total.is_one(), "frontier identities must cover the whole interval, got {}", total);
+    }
+
+    /// Event trees form a join semilattice under pointwise maximum.
+    #[test]
+    fn event_tree_semilattice_laws(a in event_tree(3), b in event_tree(3), c in event_tree(3)) {
+        prop_assert_eq!(a.join(&a), a.normalized());
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert!(a.leq(&a.join(&b)));
+        prop_assert!(b.leq(&a.join(&b)));
+        prop_assert!(a.join(&b).is_normalized());
+    }
+
+    /// `leq` coincides with join absorption on normalized trees.
+    #[test]
+    fn event_tree_leq_iff_absorption(a in event_tree(3), b in event_tree(3)) {
+        let (a, b) = (a.normalized(), b.normalized());
+        prop_assert_eq!(a.leq(&b), a.join(&b) == b);
+    }
+
+    /// min/max bounds behave under join.
+    #[test]
+    fn event_tree_bounds(a in event_tree(3), b in event_tree(3)) {
+        let j = a.join(&b);
+        prop_assert_eq!(j.max_value(), a.max_value().max(b.max_value()));
+        prop_assert!(j.min_value() >= a.min_value().max(b.min_value()).min(j.min_value()));
+        prop_assert!(j.min_value() >= a.min_value() && j.min_value() >= b.min_value());
+    }
+}

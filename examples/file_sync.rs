@@ -1,0 +1,72 @@
+//! PANASYNC-style file synchronization: dependency tracking among file
+//! copies spread over several machines.
+//!
+//! Run with `cargo run --example file_sync`.
+//!
+//! The scenario reproduces the application the paper reports (the PANASYNC
+//! project): copies of a file are made freely, edited independently, and
+//! the tools decide — from the version stamps alone — whether a copy is up
+//! to date, obsolete, or in conflict.
+
+use vstamp::panasync::SyncOutcome;
+use vstamp::{Relation, Workspace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut workspace = Workspace::new();
+
+    // The original lives on the workstation; copies go to a laptop and a
+    // USB stick carried into the field (no network, no server).
+    workspace.create("workstation", "survey.dat", "initial survey data")?;
+    workspace.copy("workstation", "laptop")?;
+    workspace.copy("workstation", "usb-stick")?;
+    println!("three copies created:");
+    print_workspace(&workspace);
+
+    // Field edits happen on the laptop only.
+    workspace.write("laptop", "survey data + day 1 measurements")?;
+    workspace.write("laptop", "survey data + day 1 and day 2 measurements")?;
+    println!("\nafter two days of edits on the laptop:");
+    println!("  laptop vs workstation: {}", workspace.compare("laptop", "workstation")?);
+    println!("  usb    vs laptop     : {}", workspace.compare("usb-stick", "laptop")?);
+
+    // Back at the office the laptop syncs with the workstation: the
+    // workstation copy is obsolete and is fast-forwarded.
+    match workspace.synchronize("laptop", "workstation")? {
+        SyncOutcome::Propagated { from, to } => println!("\nsync: propagated {from} -> {to}"),
+        other => println!("\nsync: {other:?}"),
+    }
+    assert_eq!(workspace.compare("laptop", "workstation")?, Relation::Equal);
+
+    // Meanwhile someone edited the USB copy: now there is a real conflict.
+    workspace.write("usb-stick", "survey data + corrections made on site")?;
+    match workspace.synchronize("workstation", "usb-stick")? {
+        SyncOutcome::Conflict(conflict) => {
+            println!("\nconflict detected on {}:", conflict.name);
+            println!("  local : {}", conflict.local_content);
+            println!("  remote: {}", conflict.remote_content);
+            // A human (or a merge tool) resolves it; the resolution is a new
+            // write that dominates both branches.
+            workspace.resolve(
+                "workstation",
+                "usb-stick",
+                "survey data + day 1, day 2 and on-site corrections",
+            )?;
+            println!("  resolved and installed on both locations");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+
+    // Everything converges.
+    workspace.synchronize("workstation", "laptop")?;
+    println!("\nfinal state:");
+    print_workspace(&workspace);
+    assert_eq!(workspace.compare("workstation", "laptop")?, Relation::Equal);
+    assert_eq!(workspace.compare("workstation", "usb-stick")?, Relation::Equal);
+    Ok(())
+}
+
+fn print_workspace(workspace: &Workspace) {
+    for (location, copy) in workspace.iter() {
+        println!("  {location:<12} {copy}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: tracking updates across replicas created under partition.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The scenario: a document replica is forked twice with no coordination
+//! (e.g. onto two devices that never talked to a server), each replica
+//! records writes while disconnected, and the copies are later compared and
+//! reconciled. No replica ever needed a globally unique identifier.
+
+use vstamp::{Relation, VersionStamp};
+
+fn main() {
+    // One initial replica…
+    let origin = VersionStamp::seed();
+    println!("origin            : {origin}");
+
+    // …forked into three replicas, entirely locally.
+    let (phone, rest) = origin.fork();
+    let (laptop, tablet) = rest.fork();
+    println!("phone             : {phone}");
+    println!("laptop            : {laptop}");
+    println!("tablet            : {tablet}");
+
+    // The phone and the laptop both write while offline.
+    let phone = phone.update();
+    let laptop = laptop.update();
+    println!("\nafter offline writes:");
+    println!("phone             : {phone}");
+    println!("laptop            : {laptop}");
+
+    // Comparisons classify each pair of coexisting replicas.
+    report("phone  vs laptop", phone.relation(&laptop));
+    report("phone  vs tablet", phone.relation(&tablet));
+    report("tablet vs laptop", tablet.relation(&laptop));
+
+    // The phone and laptop reconcile: their knowledge is joined, and the
+    // identities shrink back because the frontier shrank.
+    let merged = phone.join(&laptop);
+    println!("\nmerged            : {merged}");
+    report("merged vs tablet", merged.relation(&tablet));
+
+    // Synchronizing the merged replica with the tablet brings everyone up
+    // to date; sync = join followed by fork.
+    let (merged, tablet) = merged.sync(&tablet);
+    report("merged vs tablet (after sync)", merged.relation(&tablet));
+    println!("\nfinal stamps      : {merged}   {tablet}");
+    assert_eq!(merged.relation(&tablet), Relation::Equal);
+}
+
+fn report(label: &str, relation: Relation) {
+    println!("  {label:<32} -> {relation}");
+}
