@@ -98,8 +98,14 @@ impl Mechanism for DynamicVersionVectorMechanism {
         // Both descendants are new incarnations.
         self.retired += 1;
         (
-            DynamicVvElement { incarnation: self.allocator.fresh(), vector: element.vector.clone() },
-            DynamicVvElement { incarnation: self.allocator.fresh(), vector: element.vector.clone() },
+            DynamicVvElement {
+                incarnation: self.allocator.fresh(),
+                vector: element.vector.clone(),
+            },
+            DynamicVvElement {
+                incarnation: self.allocator.fresh(),
+                vector: element.vector.clone(),
+            },
         )
     }
 
@@ -166,7 +172,11 @@ mod tests {
             let left = mech.update(&left);
             current = mech.join(&left, &right);
         }
-        assert!(current.vector.len() >= 8, "vector width {} should grow with churn", current.vector.len());
+        assert!(
+            current.vector.len() >= 8,
+            "vector width {} should grow with churn",
+            current.vector.len()
+        );
     }
 
     #[test]

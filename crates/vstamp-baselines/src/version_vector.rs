@@ -226,7 +226,10 @@ impl Mechanism for FixedVersionVectorMechanism {
     }
 
     fn join(&mut self, left: &Self::Element, right: &Self::Element) -> Self::Element {
-        VvElement { replica: left.replica.min(right.replica), vector: left.vector.merged(&right.vector) }
+        VvElement {
+            replica: left.replica.min(right.replica),
+            vector: left.vector.merged(&right.vector),
+        }
     }
 
     fn relation(&self, left: &Self::Element, right: &Self::Element) -> Relation {
@@ -367,7 +370,7 @@ mod tests {
         assert_eq!(mech.relation(&joined, &a1), Relation::Dominates);
         assert_eq!(mech.relation(&joined, &b1), Relation::Dominates);
         assert!(mech.size_bits(&joined) >= 64);
-        assert_eq!(format!("{a1}").is_empty(), false);
+        assert!(!format!("{a1}").is_empty());
     }
 
     #[test]
@@ -392,5 +395,4 @@ mod tests {
             assert_eq!(vv.relation(a, b).unwrap(), relation, "mismatch at ({a}, {b})");
         }
     }
-
 }

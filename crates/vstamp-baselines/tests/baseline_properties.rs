@@ -48,13 +48,18 @@ fn replay<M: Mechanism>(mechanism: M, trace: &Trace) -> Configuration<M> {
     config
 }
 
-fn assert_agrees_with_causal<M: Mechanism>(mechanism: M, trace: &Trace, causal: &Configuration<CausalMechanism>) {
+fn assert_agrees_with_causal<M: Mechanism>(
+    mechanism: M,
+    trace: &Trace,
+    causal: &Configuration<CausalMechanism>,
+) {
     let config = replay(mechanism, trace);
     assert_eq!(config.ids(), causal.ids());
     for (a, b, expected) in causal.pairwise_relations() {
         let actual = config.relation(a, b).expect("same ids");
         assert_eq!(
-            actual, expected,
+            actual,
+            expected,
             "{} disagrees with causal histories at ({a}, {b})",
             config.mechanism().mechanism_name()
         );

@@ -1,62 +1,183 @@
-//! Ablation — the two name representations (literal antichain set vs packed
-//! trie) compared on the order test, the join and the fork construction.
+//! Ablation — the three name representations (literal antichain set, boxed
+//! trie, flat packed tag array) compared on the order test, the join, the
+//! fork construction and the conversions, over wide names and over deep
+//! fork-chain names (depth ≥ 64), where pointer chasing hurts most.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vstamp_core::{Bit, BitString, Name, NameTree};
+use vstamp_bench::{deep_chain_pair, wide_name};
+use vstamp_core::{Bit, NameTree, PackedName};
 
-/// A name with `strings` deterministic pseudo-random strings of the given
-/// depth.
-fn wide_name(strings: usize, depth: usize) -> Name {
-    let mut out = Name::empty();
-    let mut state = 0x2545_F491_4F6C_DD1Du64;
-    while out.len() < strings {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        let mut s = BitString::empty();
-        for bit in 0..depth {
-            s.push(Bit::from((state >> (bit % 64)) & 1 == 1));
-        }
-        out.insert(s);
-    }
-    out
-}
-
-fn bench_representations(c: &mut Criterion) {
+fn bench_wide_names(c: &mut Criterion) {
     let mut group = c.benchmark_group("name-representation");
     for strings in [4usize, 16, 64, 256] {
-        let a = wide_name(strings, 14);
-        let b = wide_name(strings, 14);
+        let a = wide_name(strings, 14, 0x2545_F491_4F6C_DD1D);
+        let b = wide_name(strings, 14, 0x9E37_79B9_7F4A_7C15);
         let ta = NameTree::from_name(&a);
         let tb = NameTree::from_name(&b);
+        let pa = PackedName::from_name(&a);
+        let pb = PackedName::from_name(&b);
 
-        group.bench_with_input(BenchmarkId::new("set-leq", strings), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| a.leq(b))
-        });
-        group.bench_with_input(BenchmarkId::new("tree-leq", strings), &(ta.clone(), tb.clone()), |bench, (a, b)| {
-            bench.iter(|| a.leq(b))
-        });
-        group.bench_with_input(BenchmarkId::new("set-join", strings), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| a.join(b))
-        });
-        group.bench_with_input(BenchmarkId::new("tree-join", strings), &(ta.clone(), tb.clone()), |bench, (a, b)| {
-            bench.iter(|| a.join(b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("set-leq", strings),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree-leq", strings),
+            &(ta.clone(), tb.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq", strings),
+            &(pa.clone(), pb.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("set-join", strings),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree-join", strings),
+            &(ta.clone(), tb.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-join", strings),
+            &(pa.clone(), pb.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
         group.bench_with_input(BenchmarkId::new("set-append", strings), &a, |bench, a| {
             bench.iter(|| a.append(Bit::Zero))
         });
         group.bench_with_input(BenchmarkId::new("tree-append", strings), &ta, |bench, a| {
             bench.iter(|| a.append(Bit::Zero))
         });
+        group.bench_with_input(BenchmarkId::new("packed-append", strings), &pa, |bench, a| {
+            bench.iter(|| a.append(Bit::Zero))
+        });
         group.bench_with_input(BenchmarkId::new("set-to-tree", strings), &a, |bench, a| {
             bench.iter(|| NameTree::from_name(a))
         });
+        group.bench_with_input(BenchmarkId::new("set-to-packed", strings), &a, |bench, a| {
+            bench.iter(|| PackedName::from_name(a))
+        });
         group.bench_with_input(BenchmarkId::new("tree-to-set", strings), &ta, |bench, a| {
+            bench.iter(|| a.to_name())
+        });
+        group.bench_with_input(BenchmarkId::new("packed-to-set", strings), &pa, |bench, a| {
             bench.iter(|| a.to_name())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_representations);
+/// The deep-fork-chain scenario: two replicas that forked `depth` times and
+/// then diverged, so their identities are single deep strings plus a bushy
+/// shared spine. Joins and order tests at depth ≥ 64 are where the boxed
+/// trie pays one pointer chase (and one allocation, for join) per level.
+fn bench_deep_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deep-fork-chain");
+    for depth in [64usize, 128, 256] {
+        let (a, b) = deep_chain_pair(depth);
+        let ta = NameTree::from_name(&a);
+        let tb = NameTree::from_name(&b);
+        let pa = PackedName::from_name(&a);
+        let pb = PackedName::from_name(&b);
+        let joined_tree = ta.join(&tb);
+        let joined_packed = pa.join(&pb);
+
+        group.bench_with_input(
+            BenchmarkId::new("set-leq", depth),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree-leq", depth),
+            &(ta.clone(), joined_tree.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq", depth),
+            &(pa.clone(), joined_packed.clone()),
+            |bench, (a, b)| bench.iter(|| a.leq(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("set-join", depth),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree-join", depth),
+            &(ta.clone(), tb.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-join", depth),
+            &(pa.clone(), pb.clone()),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(BenchmarkId::new("tree-append", depth), &ta, |bench, a| {
+            bench.iter(|| a.append(Bit::One))
+        });
+        group.bench_with_input(BenchmarkId::new("packed-append", depth), &pa, |bench, a| {
+            bench.iter(|| a.append(Bit::One))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("tree-reduce", depth),
+            &(joined_tree.clone(), joined_tree.clone()),
+            |bench, (u, i)| bench.iter(|| NameTree::reduce_pair(u, i)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-reduce", depth),
+            &(joined_packed.clone(), joined_packed.clone()),
+            |bench, (u, i)| bench.iter(|| PackedName::reduce_pair(u, i)),
+        );
+    }
+    group.finish();
+}
+
+/// Wide frontier at fork-depth 64: identities carrying thousands of
+/// depth-64 strings, the sizes long partition/heal workloads actually
+/// produce (the sim probes reach 10⁵ strings). Here the boxed trie's
+/// ~24 bytes per node blow the cache while the 2-bit tag array stays
+/// resident — the headline regime of this ablation.
+fn bench_deep_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deep-frontier");
+    group.sample_size(11);
+    for strings in [1024usize, 4096] {
+        let a = wide_name(strings, 64, 0x2545_F491_4F6C_DD1D);
+        let b = wide_name(strings, 64, 0x9E37_79B9_7F4A_7C15);
+        let ta = NameTree::from_name(&a);
+        let tb = NameTree::from_name(&b);
+        let pa = PackedName::from_name(&a);
+        let pb = PackedName::from_name(&b);
+        let joined_tree = ta.join(&tb);
+        let joined_packed = pa.join(&pb);
+
+        group.bench_with_input(
+            BenchmarkId::new("tree-leq", strings),
+            &(ta.clone(), joined_tree),
+            |bench, (a, j)| bench.iter(|| a.leq(j)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq", strings),
+            &(pa.clone(), joined_packed),
+            |bench, (a, j)| bench.iter(|| a.leq(j)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tree-join", strings),
+            &(ta, tb),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-join", strings),
+            &(pa, pb),
+            |bench, (a, b)| bench.iter(|| a.join(b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wide_names, bench_deep_chains, bench_deep_frontier);
 criterion_main!(benches);

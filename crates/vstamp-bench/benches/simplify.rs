@@ -28,12 +28,16 @@ fn bench_reduce(c: &mut Criterion) {
         let tree_stamp = fully_collapsible(leaves);
         let set_stamp: SetStamp = tree_stamp.clone().into();
 
-        group.bench_with_input(BenchmarkId::new("tree-representation", leaves), &tree_stamp, |b, s| {
-            b.iter(|| s.reduce())
-        });
-        group.bench_with_input(BenchmarkId::new("antichain-representation", leaves), &set_stamp, |b, s| {
-            b.iter(|| s.reduce())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tree-representation", leaves),
+            &tree_stamp,
+            |b, s| b.iter(|| s.reduce()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("antichain-representation", leaves),
+            &set_stamp,
+            |b, s| b.iter(|| s.reduce()),
+        );
 
         let update: Name = set_stamp.update_name().clone();
         let id: Name = set_stamp.id_name().clone();

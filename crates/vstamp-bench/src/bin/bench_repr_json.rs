@@ -1,0 +1,141 @@
+//! Machine-readable representation-ablation benchmark: times `leq`, `join`,
+//! `append` and `reduce_pair` for the set / boxed-tree / packed name
+//! representations over wide names and deep fork chains, and writes the
+//! results (plus packed-vs-tree speedups) to `BENCH_repr.json`.
+//!
+//! Run with `cargo run --release -p vstamp-bench --bin bench_repr_json`.
+//! The measurement model is the vendored criterion harness: calibrated
+//! batches, median of `SAMPLES` samples.
+
+use std::fmt::Write as _;
+
+use criterion::{measure, Measurement};
+use vstamp_bench::{deep_chain_pair, wide_name};
+use vstamp_core::{Bit, Name, NameTree, PackedName};
+
+const SAMPLES: usize = 15;
+
+struct Row {
+    scenario: &'static str,
+    op: &'static str,
+    repr: &'static str,
+    param: usize,
+    m: Measurement,
+}
+
+fn time<F: FnMut()>(
+    rows: &mut Vec<Row>,
+    scenario: &'static str,
+    op: &'static str,
+    repr: &'static str,
+    param: usize,
+    mut f: F,
+) {
+    let m = measure(SAMPLES, &mut f);
+    println!("{scenario:<16} {op:<8} {repr:<7} {param:>4}: {:>10.1} ns/iter", m.median_ns);
+    rows.push(Row { scenario, op, repr, param, m });
+}
+
+fn bench_triple(rows: &mut Vec<Row>, scenario: &'static str, param: usize, a: &Name, b: &Name) {
+    let (ta, tb) = (NameTree::from_name(a), NameTree::from_name(b));
+    let (pa, pb) = (PackedName::from_name(a), PackedName::from_name(b));
+    // `x ⊑ x ⊔ y` holds, so the order test walks both structures fully —
+    // the honest worst case, identical across representations.
+    let joined_n = a.join(b);
+    let joined_t = ta.join(&tb);
+    let joined_p = pa.join(&pb);
+
+    time(rows, scenario, "leq", "set", param, || {
+        std::hint::black_box(a.leq(&joined_n));
+    });
+    time(rows, scenario, "leq", "tree", param, || {
+        std::hint::black_box(ta.leq(&joined_t));
+    });
+    time(rows, scenario, "leq", "packed", param, || {
+        std::hint::black_box(pa.leq(&joined_p));
+    });
+    time(rows, scenario, "join", "set", param, || {
+        std::hint::black_box(a.join(b));
+    });
+    time(rows, scenario, "join", "tree", param, || {
+        std::hint::black_box(ta.join(&tb));
+    });
+    time(rows, scenario, "join", "packed", param, || {
+        std::hint::black_box(pa.join(&pb));
+    });
+    time(rows, scenario, "append", "tree", param, || {
+        std::hint::black_box(ta.append(Bit::Zero));
+    });
+    time(rows, scenario, "append", "packed", param, || {
+        std::hint::black_box(pa.append(Bit::Zero));
+    });
+    time(rows, scenario, "reduce", "tree", param, || {
+        std::hint::black_box(NameTree::reduce_pair(&joined_t, &joined_t));
+    });
+    time(rows, scenario, "reduce", "packed", param, || {
+        std::hint::black_box(PackedName::reduce_pair(&joined_p, &joined_p));
+    });
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    for strings in [16usize, 64, 256] {
+        let a = wide_name(strings, 14, 0x2545_F491_4F6C_DD1D);
+        let b = wide_name(strings, 14, 0x9E37_79B9_7F4A_7C15);
+        bench_triple(&mut rows, "wide", strings, &a, &b);
+    }
+    for depth in [64usize, 128, 256] {
+        let (a, b) = deep_chain_pair(depth);
+        bench_triple(&mut rows, "deep-fork-chain", depth, &a, &b);
+    }
+    // Wide frontier at fork-depth 64: thousands of depth-64 strings, the
+    // identity sizes long partition/heal workloads actually reach. This is
+    // the regime where the 2-bit tag array stays cache-resident while the
+    // boxed trie does not.
+    for strings in [1024usize, 4096] {
+        let a = wide_name(strings, 64, 0x2545_F491_4F6C_DD1D);
+        let b = wide_name(strings, 64, 0x9E37_79B9_7F4A_7C15);
+        bench_triple(&mut rows, "deep-frontier", strings, &a, &b);
+    }
+
+    // Render JSON by hand (no serde in the offline environment).
+    let mut json = String::from("{\n  \"benchmark\": \"repr-ablation\",\n  \"unit\": \"ns per iteration (median)\",\n  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"op\": \"{}\", \"repr\": \"{}\", \"param\": {}, \"median_ns\": {:.1}, \"p10_ns\": {:.1}, \"p90_ns\": {:.1}, \"samples\": {}}}{comma}",
+            row.scenario, row.op, row.repr, row.param, row.m.median_ns, row.m.p10_ns, row.m.p90_ns, row.m.samples
+        )
+        .expect("writing to a String cannot fail");
+    }
+    json.push_str("  ],\n  \"speedups_packed_vs_tree\": [\n");
+
+    let mut speedups = Vec::new();
+    for row in rows.iter().filter(|r| r.repr == "tree") {
+        if let Some(packed) = rows.iter().find(|r| {
+            r.repr == "packed"
+                && r.scenario == row.scenario
+                && r.op == row.op
+                && r.param == row.param
+        }) {
+            speedups.push((row.scenario, row.op, row.param, row.m.median_ns / packed.m.median_ns));
+        }
+    }
+    for (i, (scenario, op, param, speedup)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"scenario\": \"{scenario}\", \"op\": \"{op}\", \"param\": {param}, \"speedup\": {speedup:.2}}}{comma}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_repr.json", &json).expect("write BENCH_repr.json");
+    println!("\nwrote BENCH_repr.json");
+    for (scenario, op, param, speedup) in &speedups {
+        println!("speedup packed vs tree: {scenario}/{op}/{param} = {speedup:.2}x");
+    }
+}

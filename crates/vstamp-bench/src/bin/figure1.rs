@@ -9,7 +9,11 @@ use vstamp_sim::scenario::{figure1, figure1_version_vectors, verify_figure1_rela
 fn main() {
     let scenario = figure1();
     header("Figure 1 — version vectors over three replicas (A, B, C)");
-    println!("trace: {} operations ({:?} updates/forks/joins)", scenario.trace.len(), scenario.trace.op_counts());
+    println!(
+        "trace: {} operations ({:?} updates/forks/joins)",
+        scenario.trace.len(),
+        scenario.trace.op_counts()
+    );
 
     header("final version vectors (paper: A=[2,0,0], B=C=[1,0,1])");
     for (label, vector) in figure1_version_vectors() {

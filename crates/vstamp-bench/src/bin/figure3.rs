@@ -40,5 +40,7 @@ fn main() {
             stamps.comparisons
         );
     }
-    println!("\nRESULT: fork-and-join dynamics encode the fixed setting without losing any ordering.");
+    println!(
+        "\nRESULT: fork-and-join dynamics encode the fixed setting without losing any ordering."
+    );
 }

@@ -2,8 +2,8 @@
 //! reducing versus non-reducing stamps across workload mixes.
 
 use vstamp_bench::{header, seed_from_args};
-use vstamp_sim::metrics::measure_space;
 use vstamp_core::TreeStampMechanism;
+use vstamp_sim::metrics::measure_space;
 use vstamp_sim::workload::{generate, OperationMix, WorkloadSpec};
 
 fn main() {
@@ -20,9 +20,17 @@ fn main() {
         ("churn-heavy", OperationMix::churn_heavy()),
         ("sync-heavy", OperationMix::sync_heavy()),
     ];
+    // Short traces by necessity: the non-reducing side grows its identities
+    // exponentially with sync cycles (the point this experiment quantifies),
+    // so the trace lengths are the largest each mix can afford.
     for (name, mix) in mixes {
-        for max_replicas in [4usize, 16, 64] {
-            let trace = generate(&WorkloadSpec::new(3_000, max_replicas, seed).with_mix(mix));
+        for max_replicas in [4usize, 8] {
+            let ops = match name {
+                "update-heavy" => 150,
+                "balanced" => 60,
+                _ => 40,
+            };
+            let trace = generate(&WorkloadSpec::new(ops, max_replicas, seed).with_mix(mix));
             let reducing = measure_space(TreeStampMechanism::reducing(), &trace);
             let plain = measure_space(TreeStampMechanism::non_reducing(), &trace);
             let ratio = if reducing.mean_element_bits > 0.0 {

@@ -10,27 +10,33 @@ fn main() {
     let seed = seed_from_args();
     println!("seed = {seed}");
 
+    // The sweeps use `AllReducing`: the non-reducing stamps cannot replay
+    // traces of this length (their identities grow exponentially with sync
+    // cycles — the `simplification` binary quantifies that on short traces).
     header("E7a — churn-heavy workload, sweeping the replica bound");
-    for max_replicas in [2usize, 4, 8, 16, 32, 64, 128] {
-        let spec = WorkloadSpec::new(2_000, max_replicas, seed).with_mix(OperationMix::churn_heavy());
+    // Wider replica bounds fragment even *reducing* identities beyond
+    // practicality under churn (see ROADMAP "Open items").
+    for max_replicas in [2usize, 4, 8] {
+        let spec = WorkloadSpec::new(800, max_replicas, seed).with_mix(OperationMix::churn_heavy());
         let trace = generate(&spec);
         println!("\n-- max replicas = {max_replicas} ({} operations) --", trace.len());
-        print!("{}", compare_mechanisms(MechanismSet::All, &trace));
+        print!("{}", compare_mechanisms(MechanismSet::AllReducing, &trace));
     }
 
     header("E7b — update-heavy workload (mostly disconnected editing)");
     for max_replicas in [4usize, 16, 64] {
-        let spec = WorkloadSpec::new(2_000, max_replicas, seed).with_mix(OperationMix::update_heavy());
+        let spec =
+            WorkloadSpec::new(800, max_replicas, seed).with_mix(OperationMix::update_heavy());
         let trace = generate(&spec);
         println!("\n-- max replicas = {max_replicas} --");
-        print!("{}", compare_mechanisms(MechanismSet::All, &trace));
+        print!("{}", compare_mechanisms(MechanismSet::AllReducing, &trace));
     }
 
     header("E7c — partition / heal workload (islands synchronizing internally)");
-    for (islands, per_island) in [(2usize, 4usize), (4, 4), (8, 4), (8, 8)] {
-        let trace = generate_partition_heal(islands, per_island, 6, 120, seed);
+    for (islands, per_island) in [(2usize, 4usize), (4, 4)] {
+        let trace = generate_partition_heal(islands, per_island, 3, 30, seed);
         println!("\n-- {islands} islands x {per_island} replicas ({} operations) --", trace.len());
-        print!("{}", compare_mechanisms(MechanismSet::All, &trace));
+        print!("{}", compare_mechanisms(MechanismSet::AllReducing, &trace));
     }
 
     println!("\nRESULT: version-stamp identities adapt to the live frontier, so their size tracks");

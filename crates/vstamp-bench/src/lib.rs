@@ -50,17 +50,82 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Longest trace the non-reducing mechanism is given in benches and
+/// reports: without the Section-6 rule its identities gain one string per
+/// fork *forever*, so sync-heavy traces grow them exponentially (a 120-op
+/// trace already reaches ~10⁷ strings — see ROADMAP "Open items").
+pub const NON_REDUCING_OPS: usize = 60;
+
+/// The first `ops` operations of a trace (used to cap what the
+/// non-reducing mechanism replays).
+#[must_use]
+pub fn truncated(trace: &Trace, ops: usize) -> Trace {
+    let mut out = Trace::new();
+    for op in trace.iter().take(ops) {
+        out.push(*op);
+    }
+    out
+}
+
+/// A name with `strings` deterministic pseudo-random strings of the given
+/// depth (xorshift-generated, reproducible across runs). Shared by the
+/// `repr` bench and the `bench_repr_json` report binary.
+#[must_use]
+pub fn wide_name(strings: usize, depth: usize, seed: u64) -> vstamp_core::Name {
+    use vstamp_core::{Bit, BitString, Name};
+    let mut out = Name::empty();
+    let mut state = seed;
+    while out.len() < strings {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mut s = BitString::empty();
+        for bit in 0..depth {
+            s.push(Bit::from((state >> (bit % 64)) & 1 == 1));
+        }
+        out.insert(s);
+    }
+    out
+}
+
+/// The identities of two replicas at the bottom of a fork chain `depth`
+/// levels deep: each keeps the deep string `0…0` plus the sibling markers
+/// `0…01` it collected on alternating levels. Joining the pair interleaves
+/// the two spines — the worst case for a pointer-chasing representation.
+#[must_use]
+pub fn deep_chain_pair(depth: usize) -> (vstamp_core::Name, vstamp_core::Name) {
+    use vstamp_core::{Bit, BitString, Name};
+    let spine_string = |ones_at: usize| {
+        let mut s = BitString::empty();
+        for _ in 0..ones_at {
+            s.push(Bit::Zero);
+        }
+        s.push(Bit::One);
+        s
+    };
+    let mut deep = BitString::empty();
+    for _ in 0..depth {
+        deep.push(Bit::Zero);
+    }
+    let mut a = Name::from_string(deep.clone());
+    let mut b = Name::from_string(deep);
+    for level in 0..depth {
+        if level % 2 == 0 {
+            a.insert(spine_string(level));
+        } else {
+            b.insert(spine_string(level));
+        }
+    }
+    (a, b)
+}
+
 /// Replays a trace against a mechanism and renders every pairwise relation
 /// of the final frontier as `a <rel> b` lines (sorted, deterministic).
 #[must_use]
 pub fn render_final_relations<M: Mechanism>(mechanism: M, trace: &Trace) -> Vec<String> {
     let mut config = Configuration::new(mechanism);
     config.apply_trace(trace).expect("trace replays cleanly");
-    config
-        .pairwise_relations()
-        .into_iter()
-        .map(|(a, b, rel)| format!("{a} {rel} {b}"))
-        .collect()
+    config.pairwise_relations().into_iter().map(|(a, b, rel)| format!("{a} {rel} {b}")).collect()
 }
 
 #[cfg(test)]

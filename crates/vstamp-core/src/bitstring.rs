@@ -596,7 +596,17 @@ mod tests {
     #[test]
     fn push_pop_roundtrip() {
         let mut s = BitString::empty();
-        let pattern = [Bit::One, Bit::Zero, Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero];
+        let pattern = [
+            Bit::One,
+            Bit::Zero,
+            Bit::Zero,
+            Bit::One,
+            Bit::One,
+            Bit::Zero,
+            Bit::One,
+            Bit::One,
+            Bit::Zero,
+        ];
         for &bit in &pattern {
             s.push(bit);
         }
@@ -727,10 +737,7 @@ mod tests {
     fn iterator_yields_all_bits_in_order() {
         let s = bs("10110");
         let bits: Vec<Bit> = s.iter().collect();
-        assert_eq!(
-            bits,
-            vec![Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero]
-        );
+        assert_eq!(bits, vec![Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero]);
         assert_eq!(s.iter().len(), 5);
         let rebuilt: BitString = bits.into_iter().collect();
         assert_eq!(rebuilt, s);

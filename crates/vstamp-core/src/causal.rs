@@ -308,7 +308,7 @@ mod tests {
         let collected: CausalHistory = h.iter().collect();
         assert_eq!(collected, h);
         let mut extended = CausalHistory::new();
-        extended.extend((&h).into_iter());
+        extended.extend(&h);
         assert_eq!(extended, h);
     }
 

@@ -482,10 +482,7 @@ mod tests {
             config.apply(Operation::Fork(missing)),
             Err(ConfigError::UnknownElement(missing))
         );
-        assert_eq!(
-            config.apply(Operation::Join(root, root)),
-            Err(ConfigError::JoinWithSelf(root))
-        );
+        assert_eq!(config.apply(Operation::Join(root, root)), Err(ConfigError::JoinWithSelf(root)));
         assert_eq!(
             config.apply(Operation::Join(root, missing)),
             Err(ConfigError::UnknownElement(missing))
@@ -550,12 +547,10 @@ mod tests {
     #[test]
     fn apply_trace_stops_on_error() {
         let mut config = Configuration::new(TreeStampMechanism::reducing());
-        let trace: Trace = [
-            Operation::Fork(ElementId::new(0)),
-            Operation::Update(ElementId::new(42)),
-        ]
-        .into_iter()
-        .collect();
+        let trace: Trace =
+            [Operation::Fork(ElementId::new(0)), Operation::Update(ElementId::new(42))]
+                .into_iter()
+                .collect();
         let err = config.apply_trace(&trace).unwrap_err();
         assert_eq!(err, ConfigError::UnknownElement(ElementId::new(42)));
         // the first operation was applied before the failure
@@ -565,10 +560,10 @@ mod tests {
     #[test]
     fn causal_and_stamp_configurations_agree_on_a_fixed_run() {
         let trace: Trace = [
-            Operation::Fork(ElementId::new(0)),   // -> 1, 2
-            Operation::Update(ElementId::new(1)), // -> 3
-            Operation::Fork(ElementId::new(2)),   // -> 4, 5
-            Operation::Update(ElementId::new(4)), // -> 6
+            Operation::Fork(ElementId::new(0)),                    // -> 1, 2
+            Operation::Update(ElementId::new(1)),                  // -> 3
+            Operation::Fork(ElementId::new(2)),                    // -> 4, 5
+            Operation::Update(ElementId::new(4)),                  // -> 6
             Operation::Join(ElementId::new(3), ElementId::new(6)), // -> 7
         ]
         .into_iter()

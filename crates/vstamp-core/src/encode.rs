@@ -31,7 +31,8 @@
 use crate::bitstring::Bit;
 use crate::error::DecodeError;
 use crate::name::Name;
-use crate::stamp::VersionStamp;
+use crate::packed::PackedName;
+use crate::stamp::{PackedStamp, VersionStamp};
 use crate::tree::NameTree;
 
 /// Append-only bit buffer used by the encoder.
@@ -178,10 +179,35 @@ pub fn encoded_stamp_bits(stamp: &VersionStamp) -> usize {
     encoded_tree_bits(stamp.update_name()) + encoded_tree_bits(stamp.id_name())
 }
 
-/// Number of bits the encoding of a name occupies (via its trie form).
+/// Number of bits the encoding of a name occupies, computed directly from
+/// the sorted antichain with a radix partition — no trie is materialized
+/// (this backs `Mechanism::size_bits` for set-backed stamps, which samples
+/// every frontier element of every step).
 #[must_use]
 pub fn encoded_name_bits(name: &Name) -> usize {
-    encoded_tree_bits(&NameTree::from_name(name))
+    let strings: Vec<&crate::bitstring::BitString> = name.iter().collect();
+    let mut bits = 0usize;
+    // (start, end, depth) ranges of `strings`, exactly as in
+    // `PackedName::from_name`, but only counting node kinds.
+    let mut frames: Vec<(usize, usize, usize)> = vec![(0, strings.len(), 0)];
+    while let Some((start, end, depth)) = frames.pop() {
+        if start == end {
+            bits += 1; // Empty ↦ 0
+            continue;
+        }
+        if end - start == 1 && strings[start].len() == depth {
+            bits += 2; // Elem ↦ 10
+            continue;
+        }
+        bits += 2; // Node ↦ 11, then both children
+        let split = strings[start..end]
+            .iter()
+            .position(|s| s.get(depth) == Some(Bit::One))
+            .map_or(end, |p| start + p);
+        frames.push((split, end, depth + 1));
+        frames.push((start, split, depth + 1));
+    }
+    bits
 }
 
 /// Encodes a name tree into packed bytes.
@@ -202,6 +228,127 @@ pub fn decode_tree(bytes: &[u8]) -> Result<NameTree, DecodeError> {
     let tree = read_tree(&mut reader)?;
     reader.finish()?;
     Ok(tree)
+}
+
+fn write_packed(name: &PackedName, writer: &mut BitWriter) {
+    // The tag array is the wire format: Empty ↦ 0, Elem ↦ 10, Node ↦ 11,
+    // already in preorder — one linear pass, no tree walk.
+    for i in 0..name.node_count() {
+        match name.tag(i) {
+            0 => writer.push(Bit::Zero),
+            1 => {
+                writer.push(Bit::One);
+                writer.push(Bit::Zero);
+            }
+            _ => {
+                writer.push(Bit::One);
+                writer.push(Bit::One);
+            }
+        }
+    }
+}
+
+fn read_packed(reader: &mut BitReader<'_>) -> Result<PackedName, DecodeError> {
+    let mut tags: Vec<u8> = Vec::new();
+    // One frame per open interior node: (children still missing, whether
+    // every child so far was empty) — used to reject non-canonical input.
+    let mut frames: Vec<(u8, bool)> = Vec::new();
+    loop {
+        let tag = match reader.read()? {
+            Bit::Zero => 0u8,
+            Bit::One => match reader.read()? {
+                Bit::Zero => 1,
+                Bit::One => 2,
+            },
+        };
+        tags.push(tag);
+        if tag == 2 {
+            frames.push((2, true));
+            continue;
+        }
+        // A subtree just completed; propagate completions upwards.
+        let mut is_empty = tag == 0;
+        loop {
+            match frames.last_mut() {
+                None => return Ok(crate::packed::from_raw_tags(&tags)),
+                Some(frame) => {
+                    frame.0 -= 1;
+                    frame.1 &= is_empty;
+                    if frame.0 > 0 {
+                        break;
+                    }
+                    if frame.1 {
+                        return Err(DecodeError::Malformed(
+                            "interior node with two empty children",
+                        ));
+                    }
+                    frames.pop();
+                    is_empty = false;
+                }
+            }
+        }
+    }
+}
+
+/// Number of bits the encoding of a packed name occupies — O(n) over the
+/// tag array, no tree walk.
+#[must_use]
+pub fn encoded_packed_bits(name: &PackedName) -> usize {
+    name.encoded_bits()
+}
+
+/// Number of bits the encoding of a packed stamp occupies (update plus id).
+#[must_use]
+pub fn encoded_packed_stamp_bits(stamp: &PackedStamp) -> usize {
+    stamp.encoded_bits()
+}
+
+/// Encodes a packed name into packed bytes. The output is byte-for-byte
+/// identical to [`encode_tree`] on the equivalent trie.
+#[must_use]
+pub fn encode_packed(name: &PackedName) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    write_packed(name, &mut writer);
+    writer.into_bytes()
+}
+
+/// Decodes a packed name from bytes produced by [`encode_packed`] (or
+/// [`encode_tree`] — the format is shared).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input.
+pub fn decode_packed(bytes: &[u8]) -> Result<PackedName, DecodeError> {
+    let mut reader = BitReader::new(bytes);
+    let name = read_packed(&mut reader)?;
+    reader.finish()?;
+    Ok(name)
+}
+
+/// Encodes a packed stamp (update then id) into packed bytes; the wire
+/// format is identical to [`encode_stamp`] on the equivalent stamp.
+#[must_use]
+pub fn encode_packed_stamp(stamp: &PackedStamp) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    write_packed(stamp.update_name(), &mut writer);
+    write_packed(stamp.id_name(), &mut writer);
+    writer.into_bytes()
+}
+
+/// Decodes a packed stamp from bytes produced by [`encode_packed_stamp`]
+/// (or [`encode_stamp`]).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input, or
+/// when the decoded pair violates the stamp well-formedness conditions.
+pub fn decode_packed_stamp(bytes: &[u8]) -> Result<PackedStamp, DecodeError> {
+    let mut reader = BitReader::new(bytes);
+    let update = read_packed(&mut reader)?;
+    let id = read_packed(&mut reader)?;
+    reader.finish()?;
+    PackedStamp::from_parts(update, id)
+        .map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
 }
 
 /// Encodes a name into packed bytes (via its trie form).
@@ -240,7 +387,8 @@ pub fn decode_stamp(bytes: &[u8]) -> Result<VersionStamp, DecodeError> {
     let update = read_tree(&mut reader)?;
     let id = read_tree(&mut reader)?;
     reader.finish()?;
-    VersionStamp::from_parts(update, id).map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
+    VersionStamp::from_parts(update, id)
+        .map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
 }
 
 #[cfg(test)]
@@ -320,7 +468,9 @@ mod tests {
         let truncated = &bytes[..bytes.len() - 1];
         assert!(matches!(
             decode_stamp(truncated),
-            Err(DecodeError::UnexpectedEnd) | Err(DecodeError::Malformed(_)) | Err(DecodeError::TrailingData)
+            Err(DecodeError::UnexpectedEnd)
+                | Err(DecodeError::Malformed(_))
+                | Err(DecodeError::TrailingData)
         ));
         assert_eq!(decode_tree(&[]), Err(DecodeError::UnexpectedEnd));
     }
@@ -360,7 +510,17 @@ mod tests {
     #[test]
     fn bit_writer_and_reader_roundtrip() {
         let mut writer = BitWriter::new();
-        let pattern = [Bit::One, Bit::Zero, Bit::One, Bit::One, Bit::Zero, Bit::Zero, Bit::One, Bit::Zero, Bit::One];
+        let pattern = [
+            Bit::One,
+            Bit::Zero,
+            Bit::One,
+            Bit::One,
+            Bit::Zero,
+            Bit::Zero,
+            Bit::One,
+            Bit::Zero,
+            Bit::One,
+        ];
         for &bit in &pattern {
             writer.push(bit);
         }

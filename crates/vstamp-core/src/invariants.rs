@@ -139,9 +139,7 @@ pub fn holds_i1<N: NameLike>(stamp: &Stamp<N>) -> bool {
 /// Checks Invariant I2 for a pair of (distinct) stamps.
 #[must_use]
 pub fn holds_i2<N: NameLike>(left: &Stamp<N>, right: &Stamp<N>) -> bool {
-    left.id_name()
-        .to_name()
-        .all_incomparable_with(&right.id_name().to_name())
+    left.id_name().to_name().all_incomparable_with(&right.id_name().to_name())
 }
 
 /// Checks Invariant I3 for an ordered pair of (distinct) stamps: every
@@ -166,8 +164,29 @@ pub fn i3_witness<N: NameLike>(source: &Stamp<N>, target: &Stamp<N>) -> Option<N
     None
 }
 
+/// Returns `true` when some string of `sorted` (a name's strings in the
+/// deterministic [`Name::iter`] order) has `r` as a prefix.
+///
+/// All extensions of `r` form a contiguous run starting at the first string
+/// `≥ r` (any string between `r` and one of its extensions must itself
+/// extend `r`), so one binary search decides domination.
+fn sorted_dominates(
+    sorted: &[&crate::bitstring::BitString],
+    r: &crate::bitstring::BitString,
+) -> bool {
+    let start = sorted.partition_point(|s| *s < r);
+    sorted.get(start).is_some_and(|s| r.is_prefix_of(s))
+}
+
 /// Audits a frontier given as `(identifier, stamp)` pairs, returning every
 /// violation of well-formedness and of invariants I1–I3.
+///
+/// The frontier-wide checks are near-linear in the total number of identity
+/// strings on valid frontiers: I2 compares each string of one globally
+/// sorted list only against the contiguous run of strings it dominates
+/// (empty when I2 holds), and I3's domination tests are binary searches.
+/// Quadratic per-pair scans made the E5 auditor unusable on fragmented
+/// identities.
 pub fn audit_frontier<'a, N, I>(frontier: I) -> InvariantReport
 where
     N: NameLike + 'a,
@@ -176,37 +195,78 @@ where
     let elements: Vec<(ElementId, &Stamp<N>)> = frontier.into_iter().collect();
     let mut violations = Vec::new();
 
-    for &(id, stamp) in &elements {
-        if !stamp.update_name().to_name().is_antichain() {
+    // Materialize each component once; every check below works on these.
+    let updates: Vec<Name> = elements.iter().map(|(_, s)| s.update_name().to_name()).collect();
+    let ids: Vec<Name> = elements.iter().map(|(_, s)| s.id_name().to_name()).collect();
+
+    for (index, &(id, _)) in elements.iter().enumerate() {
+        if !updates[index].is_antichain() {
             violations.push(Violation::NotAntichain { element: id, component: "update" });
         }
-        if !stamp.id_name().to_name().is_antichain() {
+        if !ids[index].is_antichain() {
             violations.push(Violation::NotAntichain { element: id, component: "id" });
         }
-        if !holds_i1(stamp) {
+        if !updates[index].leq(&ids[index]) {
             violations.push(Violation::I1 {
                 element: id,
-                update: stamp.update_name().to_name(),
-                id: stamp.id_name().to_name(),
+                update: updates[index].clone(),
+                id: ids[index].clone(),
             });
         }
     }
 
-    for (i, &(left_id, left)) in elements.iter().enumerate() {
-        for &(right_id, right) in elements.iter().skip(i + 1) {
-            if !holds_i2(left, right) {
-                violations.push(Violation::I2 { left: left_id, right: right_id });
+    // I2: sort every identity string once, tagged with its owner. All the
+    // extensions of a string form a contiguous run right after it, so each
+    // string is compared against exactly the strings it dominates. Valid
+    // frontiers have empty runs (one adjacent check per string); the scan
+    // only goes quadratic when almost every pair violates, where the
+    // violation list itself is quadratic.
+    let mut all_id_strings: Vec<(&crate::bitstring::BitString, usize)> = ids
+        .iter()
+        .enumerate()
+        .flat_map(|(owner, name)| name.iter().map(move |s| (s, owner)))
+        .collect();
+    all_id_strings.sort_by(|a, b| a.0.cmp(b.0));
+    let mut i2_pairs: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    for (index, &(prefix, owner)) in all_id_strings.iter().enumerate() {
+        for &(extension, other) in all_id_strings[index + 1..].iter() {
+            if !prefix.is_prefix_of(extension) {
+                break;
+            }
+            if owner != other {
+                i2_pairs.insert((owner.min(other), owner.max(other)));
             }
         }
     }
+    for (left, right) in i2_pairs {
+        violations.push(Violation::I2 { left: elements[left].0, right: elements[right].0 });
+    }
 
-    for &(source_id, source) in &elements {
-        for &(target_id, target) in &elements {
-            if source_id == target_id {
-                continue;
-            }
-            if let Some(witness) = i3_witness(source, target) {
-                violations.push(Violation::I3 { source: source_id, target: target_id, witness });
+    // I3: for each update string `r`, find the elements whose id dominates
+    // it (a contiguous run in the global sorted list) and require their
+    // updates to dominate it too.
+    let sorted_updates: Vec<Vec<&crate::bitstring::BitString>> =
+        updates.iter().map(|name| name.iter().collect()).collect();
+    let mut i3_pairs: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    for (source, update) in updates.iter().enumerate() {
+        for r in update.iter() {
+            let start = all_id_strings.partition_point(|(s, _)| *s < r);
+            for &(s, target) in all_id_strings[start..].iter() {
+                if !r.is_prefix_of(s) {
+                    break;
+                }
+                if target != source
+                    && !sorted_dominates(&sorted_updates[target], r)
+                    && i3_pairs.insert((source, target))
+                {
+                    violations.push(Violation::I3 {
+                        source: elements[source].0,
+                        target: elements[target].0,
+                        witness: Name::from_string(r.clone()),
+                    });
+                }
             }
         }
     }
@@ -216,7 +276,9 @@ where
 
 /// Audits the frontier of a stamp [`Configuration`].
 #[must_use]
-pub fn audit_configuration<N: NameLike>(config: &Configuration<StampMechanism<N>>) -> InvariantReport
+pub fn audit_configuration<N: NameLike>(
+    config: &Configuration<StampMechanism<N>>,
+) -> InvariantReport
 where
     StampMechanism<N>: Mechanism<Element = Stamp<N>>,
 {
@@ -272,10 +334,7 @@ mod tests {
     fn audit_reports_every_kind_of_violation() {
         let good = SetStamp::from_parts_unchecked(name("{0}"), name("{0}"));
         let bad = SetStamp::from_parts_unchecked(name("{1}"), name("{01}"));
-        let report = audit_frontier([
-            (ElementId::new(0), &good),
-            (ElementId::new(1), &bad),
-        ]);
+        let report = audit_frontier([(ElementId::new(0), &good), (ElementId::new(1), &bad)]);
         assert!(!report.is_ok());
         // bad violates I1 (update {1} ⋢ id {01}) and I2 against good
         // (id {01} comparable with id {0}) and I3 (string 1 … actually I3
@@ -286,6 +345,37 @@ mod tests {
         assert!(text.contains("I1") || text.contains("not ⊑"));
         let display_all: Vec<String> = report.violations().iter().map(|v| v.to_string()).collect();
         assert!(!display_all.is_empty());
+    }
+
+    #[test]
+    fn audit_reports_every_i2_pair_in_nested_chains() {
+        // Regression: ids {0}, {01}, {011} violate I2 pairwise; the sorted
+        // scan must report all three pairs, including the non-adjacent
+        // (first, third) one.
+        let stamps = [
+            SetStamp::from_parts_unchecked(name("{}"), name("{0}")),
+            SetStamp::from_parts_unchecked(name("{}"), name("{01}")),
+            SetStamp::from_parts_unchecked(name("{}"), name("{011}")),
+        ];
+        let report =
+            audit_frontier(stamps.iter().enumerate().map(|(i, s)| (ElementId::new(i as u64), s)));
+        let mut i2: Vec<(ElementId, ElementId)> = report
+            .violations()
+            .iter()
+            .filter_map(|v| match v {
+                Violation::I2 { left, right } => Some((*left, *right)),
+                _ => None,
+            })
+            .collect();
+        i2.sort();
+        assert_eq!(
+            i2,
+            vec![
+                (ElementId::new(0), ElementId::new(1)),
+                (ElementId::new(0), ElementId::new(2)),
+                (ElementId::new(1), ElementId::new(2)),
+            ]
+        );
     }
 
     #[test]
@@ -316,7 +406,8 @@ mod tests {
             rng_state ^= rng_state >> 7;
             rng_state ^= rng_state << 17;
             let ids = config.ids();
-            let pick = |offset: u64| ids[(rng_state.wrapping_add(offset) % ids.len() as u64) as usize];
+            let pick =
+                |offset: u64| ids[(rng_state.wrapping_add(offset) % ids.len() as u64) as usize];
             let op = match rng_state % 3 {
                 0 => Operation::Update(pick(0)),
                 1 => Operation::Fork(pick(1)),

@@ -41,7 +41,8 @@
 //! |--------|---------------|----------|
 //! | [`bitstring`] | §4 | binary strings under the prefix order |
 //! | [`name`] | §4 (Def. 4.1) | names: finite antichains, `⊑`, `⊔` |
-//! | [`tree`] | §4/§6 | packed trie representation of names |
+//! | [`tree`] | §4/§6 | boxed binary-trie representation of names |
+//! | [`packed`] | §4/§6 | flat preorder tag-array representation (hot paths) |
 //! | [`stamp`] | §4 (Def. 4.3), §6 | version stamps and their operations |
 //! | [`simplify`] | §6 | the rewriting rule, normal forms, confluence helpers |
 //! | [`causal`] | §2 (Def. 2.1) | causal-history reference model (global view) |
@@ -78,6 +79,7 @@ pub mod invariants;
 pub mod mechanism;
 pub mod name;
 pub mod name_like;
+pub mod packed;
 pub mod relation;
 pub mod simplify;
 pub mod stamp;
@@ -88,11 +90,14 @@ pub use causal::{CausalHistory, CausalMechanism, EventId};
 pub use config::{Applied, Configuration, ElementId, Operation, Trace};
 pub use error::{ConfigError, DecodeError, StampError};
 pub use invariants::{audit_configuration, audit_frontier, InvariantReport, Violation};
-pub use mechanism::{Mechanism, SetStampMechanism, StampMechanism, TreeStampMechanism};
+pub use mechanism::{
+    Mechanism, PackedStampMechanism, SetStampMechanism, StampMechanism, TreeStampMechanism,
+};
 pub use name::{Name, ParseNameError};
 pub use name_like::NameLike;
+pub use packed::PackedName;
 pub use relation::Relation;
-pub use stamp::{Reduction, SetStamp, Stamp, VersionStamp};
+pub use stamp::{PackedStamp, Reduction, SetStamp, Stamp, VersionStamp};
 pub use tree::NameTree;
 
 #[cfg(test)]
@@ -105,8 +110,10 @@ mod tests {
         assert_send_sync::<BitString>();
         assert_send_sync::<Name>();
         assert_send_sync::<NameTree>();
+        assert_send_sync::<PackedName>();
         assert_send_sync::<VersionStamp>();
         assert_send_sync::<SetStamp>();
+        assert_send_sync::<PackedStamp>();
         assert_send_sync::<CausalHistory>();
         assert_send_sync::<Relation>();
         assert_send_sync::<Trace>();

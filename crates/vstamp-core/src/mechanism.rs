@@ -9,10 +9,11 @@
 
 use core::fmt;
 
+use crate::name::Name;
+use crate::name_like::NameLike;
+use crate::packed::PackedName;
 use crate::relation::Relation;
 use crate::stamp::{Reduction, Stamp};
-use crate::name_like::NameLike;
-use crate::name::Name;
 use crate::tree::NameTree;
 
 /// A causality-tracking mechanism driven by fork/join/update transitions.
@@ -50,7 +51,11 @@ pub trait Mechanism {
     fn size_bits(&self, element: &Self::Element) -> usize;
 
     /// Convenience: synchronization as join followed by fork.
-    fn sync(&mut self, left: &Self::Element, right: &Self::Element) -> (Self::Element, Self::Element) {
+    fn sync(
+        &mut self,
+        left: &Self::Element,
+        right: &Self::Element,
+    ) -> (Self::Element, Self::Element) {
         let joined = self.join(left, right);
         self.fork(&joined)
     }
@@ -109,9 +114,16 @@ impl<N: NameLike> Mechanism for StampMechanism<N> {
     type Element = Stamp<N>;
 
     fn mechanism_name(&self) -> &'static str {
-        match self.reduction {
-            Reduction::Reducing => "version-stamps",
-            Reduction::NonReducing => "version-stamps-nonreducing",
+        // The boxed trie keeps the historical unsuffixed names; the other
+        // representations are labelled so ablation tables stay unambiguous.
+        match (N::REPR_NAME, self.reduction) {
+            ("tree", Reduction::Reducing) => "version-stamps",
+            ("tree", Reduction::NonReducing) => "version-stamps-nonreducing",
+            ("packed", Reduction::Reducing) => "version-stamps-packed",
+            ("packed", Reduction::NonReducing) => "version-stamps-packed-nonreducing",
+            ("set", Reduction::Reducing) => "version-stamps-set",
+            ("set", Reduction::NonReducing) => "version-stamps-set-nonreducing",
+            _ => unreachable!("NameLike is sealed over the three shipped representations"),
         }
     }
 
@@ -136,17 +148,24 @@ impl<N: NameLike> Mechanism for StampMechanism<N> {
     }
 
     fn size_bits(&self, element: &Self::Element) -> usize {
-        crate::encode::encoded_stamp_bits(&element.to_tree_stamp())
+        // Computed directly on the backing representation: the old
+        // round-trip through `to_tree_stamp()` rebuilt both tries on every
+        // sample and dominated the space experiments.
+        element.encoded_bits()
     }
 }
 
-/// Version-stamp mechanism over the packed trie representation (the
-/// practical default).
+/// Version-stamp mechanism over the boxed trie representation (the
+/// historical default).
 pub type TreeStampMechanism = StampMechanism<NameTree>;
 
 /// Version-stamp mechanism over the literal antichain representation; used
 /// by the `repr` ablation.
 pub type SetStampMechanism = StampMechanism<Name>;
+
+/// Version-stamp mechanism over the flat tag-array representation — the
+/// fastest configuration (see the `repr` bench ablation).
+pub type PackedStampMechanism = StampMechanism<PackedName>;
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,14 @@
-//! Abstraction over the two name representations.
+//! Abstraction over the three name representations.
 //!
-//! The paper defines names abstractly (Definition 4.1); this crate ships two
-//! concrete representations — the literal antichain set [`Name`] and the
-//! packed trie [`NameTree`] — and the stamp machinery is generic over them
-//! through [`NameLike`]. The `repr` ablation bench compares the two.
+//! The paper defines names abstractly (Definition 4.1); this crate ships
+//! three concrete representations — the literal antichain set [`Name`], the
+//! boxed trie [`NameTree`] and the flat tag array [`PackedName`] — and the
+//! stamp machinery is generic over them through [`NameLike`]. The `repr`
+//! ablation bench compares the three.
 
 use crate::bitstring::Bit;
 use crate::name::Name;
+use crate::packed::PackedName;
 use crate::relation::Relation;
 use crate::tree::NameTree;
 
@@ -17,14 +19,20 @@ mod private {
     pub trait Sealed {}
     impl Sealed for crate::name::Name {}
     impl Sealed for crate::tree::NameTree {}
+    impl Sealed for crate::packed::PackedName {}
 }
 
 /// Operations a name representation must provide to back a
 /// [`Stamp`](crate::Stamp).
 ///
-/// This trait is sealed: it is implemented exactly for [`Name`] and
-/// [`NameTree`], the two representations shipped by this crate.
+/// This trait is sealed: it is implemented exactly for [`Name`],
+/// [`NameTree`] and [`PackedName`], the three representations shipped by
+/// this crate.
 pub trait NameLike: Clone + Eq + core::fmt::Debug + core::fmt::Display + private::Sealed {
+    /// Short identifier of the representation (`set`, `tree`, `packed`),
+    /// used to label mechanisms and benchmark rows.
+    const REPR_NAME: &'static str;
+
     /// The empty name `{}` (bottom of the semilattice).
     fn empty() -> Self;
 
@@ -52,6 +60,10 @@ pub trait NameLike: Clone + Eq + core::fmt::Debug + core::fmt::Display + private
     /// Total bits across all strings (space metric of experiment E7).
     fn bit_size(&self) -> usize;
 
+    /// Number of bits the shared wire encoding of this name occupies,
+    /// computed on the representation itself (no boxed trie is built).
+    fn encoded_bits(&self) -> usize;
+
     /// Length of the longest string.
     fn depth(&self) -> usize;
 
@@ -72,6 +84,8 @@ pub trait NameLike: Clone + Eq + core::fmt::Debug + core::fmt::Display + private
 }
 
 impl NameLike for Name {
+    const REPR_NAME: &'static str = "set";
+
     fn empty() -> Self {
         Name::empty()
     }
@@ -108,6 +122,10 @@ impl NameLike for Name {
         Name::bit_size(self)
     }
 
+    fn encoded_bits(&self) -> usize {
+        crate::encode::encoded_name_bits(self)
+    }
+
     fn depth(&self) -> usize {
         Name::depth(self)
     }
@@ -126,6 +144,8 @@ impl NameLike for Name {
 }
 
 impl NameLike for NameTree {
+    const REPR_NAME: &'static str = "tree";
+
     fn empty() -> Self {
         NameTree::empty()
     }
@@ -162,6 +182,10 @@ impl NameLike for NameTree {
         NameTree::bit_size(self)
     }
 
+    fn encoded_bits(&self) -> usize {
+        crate::encode::encoded_tree_bits(self)
+    }
+
     fn depth(&self) -> usize {
         NameTree::depth(self)
     }
@@ -176,6 +200,66 @@ impl NameLike for NameTree {
 
     fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
         NameTree::reduce_pair(update, id)
+    }
+}
+
+impl NameLike for PackedName {
+    const REPR_NAME: &'static str = "packed";
+
+    fn empty() -> Self {
+        PackedName::empty()
+    }
+
+    fn epsilon() -> Self {
+        PackedName::epsilon()
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        PackedName::leq(self, other)
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        PackedName::join(self, other)
+    }
+
+    fn append(&self, bit: Bit) -> Self {
+        PackedName::append(self, bit)
+    }
+
+    fn is_empty(&self) -> bool {
+        PackedName::is_empty(self)
+    }
+
+    fn is_epsilon(&self) -> bool {
+        PackedName::is_epsilon(self)
+    }
+
+    fn string_count(&self) -> usize {
+        PackedName::string_count(self)
+    }
+
+    fn bit_size(&self) -> usize {
+        PackedName::bit_size(self)
+    }
+
+    fn encoded_bits(&self) -> usize {
+        PackedName::encoded_bits(self)
+    }
+
+    fn depth(&self) -> usize {
+        PackedName::depth(self)
+    }
+
+    fn to_name(&self) -> Name {
+        PackedName::to_name(self)
+    }
+
+    fn from_name(name: &Name) -> Self {
+        PackedName::from_name(name)
+    }
+
+    fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
+        PackedName::reduce_pair(update, id)
     }
 }
 
@@ -204,6 +288,7 @@ mod tests {
             assert_eq!(a.is_epsilon(), b.is_epsilon());
             assert_eq!(a.string_count(), b.string_count());
             assert_eq!(a.bit_size(), b.bit_size());
+            assert_eq!(a.encoded_bits(), b.encoded_bits());
             assert_eq!(a.depth(), b.depth());
             for bit in [Bit::Zero, Bit::One] {
                 assert_eq!(a.append(bit).to_name(), b.append(bit).to_name());
@@ -230,6 +315,16 @@ mod tests {
     }
 
     #[test]
+    fn tree_and_packed_representations_agree() {
+        check_agreement::<NameTree, PackedName>();
+    }
+
+    #[test]
+    fn set_and_packed_representations_agree() {
+        check_agreement::<Name, PackedName>();
+    }
+
+    #[test]
     fn trait_impl_delegates_for_name() {
         let n = <Name as NameLike>::epsilon();
         assert!(n.is_epsilon());
@@ -241,5 +336,13 @@ mod tests {
         let n = <NameTree as NameLike>::epsilon();
         assert!(n.is_epsilon());
         assert_eq!(<NameTree as NameLike>::empty().bit_size(), 0);
+    }
+
+    #[test]
+    fn trait_impl_delegates_for_packed() {
+        let n = <PackedName as NameLike>::epsilon();
+        assert!(n.is_epsilon());
+        assert_eq!(<PackedName as NameLike>::empty().encoded_bits(), 1);
+        assert_eq!(<PackedName as NameLike>::REPR_NAME, "packed");
     }
 }

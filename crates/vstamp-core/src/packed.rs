@@ -1,0 +1,1225 @@
+//! Flat, cache-friendly encoding of names: the third representation.
+//!
+//! [`PackedName`] stores the same canonical binary trie as
+//! [`NameTree`](crate::NameTree), but as a **preorder array of 2-bit node
+//! tags** (`Empty` / `Elem` / `Node`) packed four to a byte, held inline for
+//! up to [`INLINE_TAGS`] nodes and spilling to the heap beyond. Where the
+//! boxed trie chases two pointers per interior node and allocates on every
+//! construction, the packed form is a handful of contiguous bytes:
+//!
+//! * `leq`, `join`, `append`, `contains` and `reduce_pair` are **iterative**
+//!   — explicit cursors and small stacks, no recursion, and no per-node
+//!   allocation (a single output buffer per constructed value);
+//! * `string_count` and `bit_size` are **cached** and O(1);
+//! * `node_count` is the tag count, O(1);
+//! * the wire encoding of [`encode`](crate::encode) maps 1:1 onto the tag
+//!   array (`Empty ↦ 0`, `Elem ↦ 10`, `Node ↦ 11`), so encode/decode are
+//!   single passes.
+//!
+//! The representation is proptest-equivalent to [`Name`](crate::Name) and
+//! `NameTree` (see `tests/repr_equivalence.rs`) and slots into the stamp
+//! machinery through [`NameLike`](crate::NameLike) as
+//! [`PackedStamp`](crate::PackedStamp) /
+//! [`PackedStampMechanism`](crate::PackedStampMechanism).
+//!
+//! # Examples
+//!
+//! ```
+//! use vstamp_core::{Name, PackedName};
+//!
+//! let name: Name = "{00, 011, 1}".parse()?;
+//! let packed = PackedName::from_name(&name);
+//! assert_eq!(packed.to_name(), name);
+//! assert_eq!(packed.string_count(), 3);
+//! assert_eq!(packed.bit_size(), 2 + 3 + 1);
+//! # Ok::<(), vstamp_core::ParseNameError>(())
+//! ```
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::bitstring::{Bit, BitString};
+use crate::name::{Name, ParseNameError};
+use crate::relation::Relation;
+
+/// Number of node tags the inline buffer holds before spilling to the heap.
+pub const INLINE_TAGS: usize = INLINE_BYTES * TAGS_PER_BYTE;
+
+const INLINE_BYTES: usize = 16;
+const TAGS_PER_BYTE: usize = 4;
+
+/// Node tag: no element anywhere in this subtree.
+const EMPTY: u8 = 0b00;
+/// Node tag: the path from the root to this node is an element.
+const ELEM: u8 = 0b01;
+/// Node tag: interior node; its two children follow in preorder.
+const NODE: u8 = 0b10;
+
+/// Growable 2-bit tag array with a 16-byte (64-tag) inline buffer.
+///
+/// Invariant: tags are only ever appended, so the unused bits of the last
+/// byte are always zero and equality/hashing can compare raw bytes.
+#[derive(Clone)]
+struct TagVec {
+    len: u32,
+    inline: [u8; INLINE_BYTES],
+    heap: Vec<u8>,
+}
+
+impl TagVec {
+    fn new() -> Self {
+        TagVec { len: 0, inline: [0; INLINE_BYTES], heap: Vec::new() }
+    }
+
+    fn with_tag_capacity(tags: usize) -> Self {
+        let mut v = TagVec::new();
+        if tags > INLINE_TAGS {
+            v.heap = Vec::with_capacity(tags.div_ceil(TAGS_PER_BYTE));
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn byte_len(&self) -> usize {
+        self.len().div_ceil(TAGS_PER_BYTE)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        if self.heap.is_empty() {
+            &self.inline[..self.byte_len()]
+        } else {
+            &self.heap[..self.byte_len()]
+        }
+    }
+
+    #[inline]
+    fn get(&self, index: usize) -> u8 {
+        debug_assert!(index < self.len());
+        let byte = if self.heap.is_empty() {
+            self.inline[index / TAGS_PER_BYTE]
+        } else {
+            self.heap[index / TAGS_PER_BYTE]
+        };
+        (byte >> ((index % TAGS_PER_BYTE) * 2)) & 0b11
+    }
+
+    fn view(&self) -> TagsView<'_> {
+        TagsView {
+            bytes: if self.heap.is_empty() { &self.inline } else { &self.heap },
+            len: self.len(),
+        }
+    }
+
+    fn push(&mut self, tag: u8) {
+        debug_assert!(tag <= NODE);
+        let index = self.len();
+        let (byte, shift) = (index / TAGS_PER_BYTE, (index % TAGS_PER_BYTE) * 2);
+        if self.heap.is_empty() {
+            if byte < INLINE_BYTES {
+                self.inline[byte] |= tag << shift;
+                self.len += 1;
+                return;
+            }
+            // Spill: move the inline bytes to the heap and keep appending.
+            self.heap.extend_from_slice(&self.inline);
+        }
+        if byte == self.heap.len() {
+            self.heap.push(0);
+        }
+        self.heap[byte] |= tag << shift;
+        self.len += 1;
+    }
+
+    /// Appends the tag range `[start, end)` of `src` — the bulk-copy fast
+    /// path of `join`. Tags are moved a byte (four tags) at a time with a
+    /// shift-merge for misaligned copies, instead of one `push` per tag.
+    fn extend_tags(&mut self, src: TagsView<'_>, mut start: usize, end: usize) {
+        // Scalar until the destination is byte-aligned.
+        while start < end && self.len() % TAGS_PER_BYTE != 0 {
+            self.push(src.tag(start));
+            start += 1;
+        }
+        let full_bytes = (end - start) / TAGS_PER_BYTE;
+        if full_bytes > 0 {
+            let shift = (start % TAGS_PER_BYTE) * 2;
+            let src_byte = start / TAGS_PER_BYTE;
+            for k in 0..full_bytes {
+                let lo = src.bytes[src_byte + k] >> shift;
+                let hi = if shift == 0 {
+                    0
+                } else {
+                    src.bytes.get(src_byte + k + 1).copied().unwrap_or(0) << (8 - shift)
+                };
+                self.push_full_byte(lo | hi);
+            }
+            start += full_bytes * TAGS_PER_BYTE;
+        }
+        while start < end {
+            self.push(src.tag(start));
+            start += 1;
+        }
+    }
+
+    /// Appends four tags given as one packed byte; the destination must be
+    /// byte-aligned.
+    fn push_full_byte(&mut self, byte: u8) {
+        debug_assert_eq!(self.len() % TAGS_PER_BYTE, 0);
+        let index = self.byte_len();
+        if self.heap.is_empty() {
+            if index < INLINE_BYTES {
+                self.inline[index] = byte;
+                self.len += TAGS_PER_BYTE as u32;
+                return;
+            }
+            self.heap.extend_from_slice(&self.inline);
+        }
+        self.heap.push(byte);
+        self.len += TAGS_PER_BYTE as u32;
+    }
+}
+
+/// Per-byte traversal tables: a byte holds four 2-bit tags; walking them in
+/// preorder changes the open-subtree count by +1 per `Node` and −1 per
+/// leaf. `DELTA` is the net change over the byte, `MIN_PREFIX` the lowest
+/// intermediate value — together they let the skip loops consume four tags
+/// per step instead of one.
+const fn traversal_tables() -> ([i8; 256], [i8; 256]) {
+    let mut delta = [0i8; 256];
+    let mut min_prefix = [0i8; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut sum = 0i8;
+        let mut min = 0i8;
+        let mut slot = 0usize;
+        while slot < 4 {
+            let tag = ((byte >> (slot * 2)) & 0b11) as u8;
+            sum += if tag == NODE { 1 } else { -1 };
+            if sum < min {
+                min = sum;
+            }
+            slot += 1;
+        }
+        delta[byte] = sum;
+        min_prefix[byte] = min;
+        byte += 1;
+    }
+    (delta, min_prefix)
+}
+
+static TRAVERSAL: ([i8; 256], [i8; 256]) = traversal_tables();
+
+/// Per-byte tag-class masks: bit `s` of `NODE4[b]` (resp. `EMPTY4`,
+/// `ELEM4`) is set when slot `s` of byte `b` holds that tag. Drives the
+/// four-pairs-at-a-time fast path of [`PackedName::leq`].
+const fn class_masks() -> ([u8; 256], [u8; 256], [u8; 256]) {
+    let mut node = [0u8; 256];
+    let mut empty = [0u8; 256];
+    let mut elem = [0u8; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut slot = 0usize;
+        while slot < 4 {
+            match ((byte >> (slot * 2)) & 0b11) as u8 {
+                EMPTY => empty[byte] |= 1 << slot,
+                ELEM => elem[byte] |= 1 << slot,
+                _ => node[byte] |= 1 << slot,
+            }
+            slot += 1;
+        }
+        byte += 1;
+    }
+    (node, empty, elem)
+}
+
+static CLASS: ([u8; 256], [u8; 256], [u8; 256]) = class_masks();
+
+/// For a nibble of per-slot `Node` bits, the net open-subtree delta and the
+/// minimum intermediate value across the four lockstep pairs.
+const fn nibble_tables() -> ([i8; 16], [i8; 16]) {
+    let mut delta = [0i8; 16];
+    let mut min_prefix = [0i8; 16];
+    let mut nibble = 0usize;
+    while nibble < 16 {
+        let mut sum = 0i8;
+        let mut min = 0i8;
+        let mut slot = 0usize;
+        while slot < 4 {
+            sum += if nibble & (1 << slot) != 0 { 1 } else { -1 };
+            if sum < min {
+                min = sum;
+            }
+            slot += 1;
+        }
+        delta[nibble] = sum;
+        min_prefix[nibble] = min;
+        nibble += 1;
+    }
+    (delta, min_prefix)
+}
+
+static NIBBLE: ([i8; 16], [i8; 16]) = nibble_tables();
+
+/// Borrowed view of a tag array: the inline/heap branch is resolved once
+/// per operation instead of once per tag access, which matters in the
+/// `leq`/`join` scan loops.
+#[derive(Clone, Copy)]
+struct TagsView<'a> {
+    bytes: &'a [u8],
+    len: usize,
+}
+
+impl TagsView<'_> {
+    #[inline]
+    fn tag(&self, index: usize) -> u8 {
+        debug_assert!(index < self.len);
+        (self.bytes[index >> 2] >> ((index & 3) << 1)) & 0b11
+    }
+
+    /// Index one past the end of the subtree rooted at `start`.
+    ///
+    /// Scalar-steps to the next byte boundary, then consumes whole bytes
+    /// (four tags at a time) through the [`TRAVERSAL`] tables, dropping
+    /// back to scalar only for the byte in which the subtree closes.
+    fn subtree_end(&self, start: usize) -> usize {
+        let (delta, min_prefix) = (&TRAVERSAL.0, &TRAVERSAL.1);
+        let mut i = start;
+        let mut pending = 1i32;
+        while pending > 0 {
+            if i & 3 == 0 {
+                // Byte-aligned: skip whole bytes while the subtree cannot
+                // close inside them.
+                let mut byte_index = i >> 2;
+                while pending + i32::from(min_prefix[self.bytes[byte_index] as usize]) > 0 {
+                    pending += i32::from(delta[self.bytes[byte_index] as usize]);
+                    byte_index += 1;
+                }
+                i = byte_index << 2;
+            }
+            if self.tag(i) == NODE {
+                pending += 1;
+            } else {
+                pending -= 1;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// `ends[i]` = one past the end of the subtree rooted at `i`, for every
+    /// node — one forward pass, so spine-shaped trees cost O(n) instead of
+    /// the O(n²) of repeated [`TagsView::subtree_end`] scans.
+    fn subtree_ends(&self) -> Vec<u32> {
+        let mut ends = vec![0u32; self.len];
+        // Open interior nodes: (index, children still missing).
+        let mut open: Vec<(u32, u8)> = Vec::new();
+        for i in 0..self.len {
+            if self.tag(i) == NODE {
+                open.push((i as u32, 2));
+                continue;
+            }
+            // The leaf at `i` is the final tag of every subtree completing
+            // here, so they all share the same end.
+            let end = (i + 1) as u32;
+            ends[i] = end;
+            while let Some(frame) = open.last_mut() {
+                frame.1 -= 1;
+                if frame.1 > 0 {
+                    break;
+                }
+                ends[frame.0 as usize] = end;
+                open.pop();
+            }
+        }
+        ends
+    }
+}
+
+impl PartialEq for TagVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for TagVec {}
+
+impl core::hash::Hash for TagVec {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.bytes().hash(state);
+    }
+}
+
+/// Packed preorder-tag-array representation of a name.
+///
+/// See the [module documentation](self) for the encoding and the complexity
+/// guarantees. The default value is the empty name `{}`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PackedName {
+    tags: TagVec,
+    strings: u32,
+    bits: u32,
+}
+
+impl Default for PackedName {
+    fn default() -> Self {
+        PackedName::empty()
+    }
+}
+
+impl PackedName {
+    /// The empty name `{}`.
+    #[must_use]
+    pub fn empty() -> Self {
+        let mut tags = TagVec::new();
+        tags.push(EMPTY);
+        PackedName { tags, strings: 0, bits: 0 }
+    }
+
+    /// The name `{ε}`: the identity of the initial element of a system.
+    #[must_use]
+    pub fn epsilon() -> Self {
+        let mut tags = TagVec::new();
+        tags.push(ELEM);
+        PackedName { tags, strings: 1, bits: 0 }
+    }
+
+    /// Returns `true` when the name is `{}`.
+    ///
+    /// O(1): canonical form guarantees a subtree is empty exactly when its
+    /// root tag is `Empty`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.get(0) == EMPTY
+    }
+
+    /// Returns `true` when the name is exactly `{ε}`.
+    #[must_use]
+    pub fn is_epsilon(&self) -> bool {
+        self.tags.len() == 1 && self.tags.get(0) == ELEM
+    }
+
+    /// Number of strings in the antichain — O(1), cached.
+    #[must_use]
+    pub fn string_count(&self) -> usize {
+        self.strings as usize
+    }
+
+    /// Total bits across all strings (the space metric of experiment E7) —
+    /// O(1), cached.
+    #[must_use]
+    pub fn bit_size(&self) -> usize {
+        self.bits as usize
+    }
+
+    /// Number of trie nodes — O(1): every tag is a node.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of bits the shared wire encoding of this name occupies:
+    /// one bit per `Empty` tag, two per `Elem`/`Node`.
+    #[must_use]
+    pub fn encoded_bits(&self) -> usize {
+        let mut total = 0;
+        for i in 0..self.tags.len() {
+            total += if self.tags.get(i) == EMPTY { 1 } else { 2 };
+        }
+        total
+    }
+
+    /// Raw tag accessor for the encoder; `0 = Empty`, `1 = Elem`, `2 = Node`.
+    pub(crate) fn tag(&self, index: usize) -> u8 {
+        self.tags.get(index)
+    }
+
+    /// Index one past the end of the subtree rooted at `start`.
+    fn subtree_end(&self, start: usize) -> usize {
+        self.tags.view().subtree_end(start)
+    }
+
+    /// Depth of the deepest element (length of the longest string).
+    ///
+    /// Iterative preorder walk with a small depth stack.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut max = 0usize;
+        let mut depth = 0usize;
+        // Depths of the pending `one` children of open interior nodes.
+        let mut pending: Vec<usize> = Vec::new();
+        for i in 0..self.tags.len() {
+            match self.tags.get(i) {
+                NODE => {
+                    pending.push(depth + 1);
+                    depth += 1;
+                }
+                tag => {
+                    if tag == ELEM {
+                        max = max.max(depth);
+                    }
+                    depth = pending.pop().unwrap_or(0);
+                }
+            }
+        }
+        max
+    }
+
+    /// Recomputes the cached string count and bit size from the tags.
+    fn recount(tags: &TagVec) -> (u32, u32) {
+        let tags = tags.view();
+        let mut strings = 0u32;
+        let mut bits = 0u32;
+        let mut depth = 0u32;
+        let mut pending: Vec<u32> = Vec::with_capacity(64);
+        for i in 0..tags.len {
+            match tags.tag(i) {
+                NODE => {
+                    pending.push(depth + 1);
+                    depth += 1;
+                }
+                tag => {
+                    if tag == ELEM {
+                        strings += 1;
+                        bits += depth;
+                    }
+                    depth = pending.pop().unwrap_or(0);
+                }
+            }
+        }
+        (strings, bits)
+    }
+
+    fn from_tags(tags: TagVec) -> Self {
+        let (strings, bits) = Self::recount(&tags);
+        PackedName { tags, strings, bits }
+    }
+
+    /// The order `⊑` on names: down-set inclusion.
+    ///
+    /// A single lockstep scan of the two tag arrays — no recursion and no
+    /// allocation of any kind.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, PackedName};
+    /// let a = PackedName::from_name(&"{00, 011}".parse::<Name>().unwrap());
+    /// let b = PackedName::from_name(&"{000, 011, 1}".parse::<Name>().unwrap());
+    /// assert!(a.leq(&b));
+    /// assert!(!b.leq(&a));
+    /// ```
+    #[must_use]
+    pub fn leq(&self, other: &PackedName) -> bool {
+        // O(1) rejection: `a ⊑ b` maps every string of `a` to a distinct
+        // extension in `b` (two prefixes of the same string are comparable,
+        // so the map is injective), hence both cached aggregates are
+        // monotone along `⊑`.
+        if self.strings > other.strings || self.bits > other.bits {
+            return false;
+        }
+        let a = self.tags.view();
+        let b = other.tags.view();
+        // O(bytes) acceptance: identical tag arrays denote the same name.
+        if self.tags.len == other.tags.len
+            && a.bytes[..self.tags.byte_len()] == b.bytes[..other.tags.byte_len()]
+        {
+            return true;
+        }
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut pending = 1i32;
+        while pending > 0 {
+            // Fast path: while both cursors are byte-aligned and the next
+            // four tag pairs are all plain lockstep transitions (no failure,
+            // no subtree skip, no chance of closing the walk mid-byte),
+            // consume a whole byte of each side per step.
+            if ia & 3 == 0 && ib & 3 == 0 {
+                let (node4, empty4, elem4) = (&CLASS.0, &CLASS.1, &CLASS.2);
+                loop {
+                    let ab = a.bytes[ia >> 2] as usize;
+                    let bb = b.bytes[ib >> 2] as usize;
+                    let an = node4[ab];
+                    // Some pair fails (`a` non-empty over `b` empty, or
+                    // interior over element)?
+                    let fail = (!empty4[ab] & empty4[bb]) | (an & elem4[bb]);
+                    // Some pair needs a subtree skip (`a` leaf over `b`
+                    // interior)?
+                    let bail = !an & node4[bb];
+                    if (fail | bail) & 0xF != 0 || pending + i32::from(NIBBLE.1[an as usize]) <= 0 {
+                        break;
+                    }
+                    // All four pairs are (Node, Node) or (leaf, leaf): both
+                    // sides advance one tag per pair.
+                    pending += i32::from(NIBBLE.0[an as usize]);
+                    ia += 4;
+                    ib += 4;
+                }
+            }
+            match (a.tag(ia), b.tag(ib)) {
+                // {} is below everything.
+                (EMPTY, _) => {
+                    ia += 1;
+                    ib = b.subtree_end(ib);
+                    pending -= 1;
+                }
+                // A non-empty subtree is never below an empty one.
+                (_, EMPTY) => return false,
+                // {path} ⊑ any non-empty subtree at the same path.
+                (ELEM, _) => {
+                    ia += 1;
+                    ib = b.subtree_end(ib);
+                    pending -= 1;
+                }
+                // A canonical interior node is non-empty, hence ⋢ {path}.
+                (NODE, ELEM) => return false,
+                // Descend into both pairs of children.
+                (NODE, NODE) => {
+                    ia += 1;
+                    ib += 1;
+                    pending += 1;
+                }
+                _ => unreachable!("tags are two-bit values 0..=2"),
+            }
+        }
+        true
+    }
+
+    /// Strict version of [`PackedName::leq`].
+    #[must_use]
+    pub fn lt(&self, other: &PackedName) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Classifies the pair under the pre-order induced by `⊑`.
+    #[must_use]
+    pub fn relation(&self, other: &PackedName) -> Relation {
+        Relation::from_leq(self.leq(other), other.leq(self))
+    }
+
+    /// Copies the subtree of `src` rooted at `start` into `out`, returning
+    /// the subtree end.
+    fn copy_subtree(src: TagsView<'_>, start: usize, out: &mut TagVec) -> usize {
+        let end = src.subtree_end(start);
+        out.extend_tags(src, start, end);
+        end
+    }
+
+    /// The semilattice join `⊔`: maximal elements of the union.
+    ///
+    /// A single lockstep merge of the two tag arrays into a fresh buffer —
+    /// no recursion, no per-node allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, PackedName};
+    /// let a = PackedName::from_name(&"{00, 011}".parse::<Name>().unwrap());
+    /// let b = PackedName::from_name(&"{000, 01, 1}".parse::<Name>().unwrap());
+    /// let expected = PackedName::from_name(&"{000, 011, 1}".parse::<Name>().unwrap());
+    /// assert_eq!(a.join(&b), expected);
+    /// ```
+    #[must_use]
+    pub fn join(&self, other: &PackedName) -> PackedName {
+        let a = self.tags.view();
+        let b = other.tags.view();
+        let mut out = TagVec::with_tag_capacity(self.tags.len().max(other.tags.len()));
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut pending = 1usize;
+        while pending > 0 {
+            match (a.tag(ia), b.tag(ib)) {
+                // {} ⊔ n = n: copy the other subtree verbatim.
+                (EMPTY, _) => {
+                    ia += 1;
+                    ib = Self::copy_subtree(b, ib, &mut out);
+                    pending -= 1;
+                }
+                (_, EMPTY) => {
+                    ib += 1;
+                    ia = Self::copy_subtree(a, ia, &mut out);
+                    pending -= 1;
+                }
+                // {path} ⊔ n = n for non-empty n (and Elem ⊔ Elem = Elem).
+                (ELEM, _) => {
+                    ia += 1;
+                    ib = Self::copy_subtree(b, ib, &mut out);
+                    pending -= 1;
+                }
+                (NODE, ELEM) => {
+                    ib += 1;
+                    ia = Self::copy_subtree(a, ia, &mut out);
+                    pending -= 1;
+                }
+                // Join children pairwise; both inputs canonical means both
+                // merged children stay non-empty, so the node is canonical.
+                (NODE, NODE) => {
+                    out.push(NODE);
+                    ia += 1;
+                    ib += 1;
+                    pending += 1;
+                }
+                _ => unreachable!("tags are two-bit values 0..=2"),
+            }
+        }
+        PackedName::from_tags(out)
+    }
+
+    /// Appends `bit` to every string of the name — the lifted concatenation
+    /// used by fork.
+    ///
+    /// In tag form this is a single rewrite pass: every `Elem` becomes a
+    /// `Node` with an `Elem` on the `bit` branch and an `Empty` sibling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Bit, Name, PackedName};
+    /// let n = PackedName::from_name(&"{0, 11}".parse::<Name>().unwrap());
+    /// assert_eq!(n.append(Bit::One).to_name(), "{01, 111}".parse::<Name>().unwrap());
+    /// ```
+    #[must_use]
+    pub fn append(&self, bit: Bit) -> PackedName {
+        let mut out = TagVec::with_tag_capacity(self.tags.len() + 2 * self.string_count());
+        for i in 0..self.tags.len() {
+            match self.tags.get(i) {
+                ELEM => match bit {
+                    Bit::Zero => {
+                        out.push(NODE);
+                        out.push(ELEM);
+                        out.push(EMPTY);
+                    }
+                    Bit::One => {
+                        out.push(NODE);
+                        out.push(EMPTY);
+                        out.push(ELEM);
+                    }
+                },
+                tag => out.push(tag),
+            }
+        }
+        PackedName { tags: out, strings: self.strings, bits: self.bits + self.strings }
+    }
+
+    /// Returns `true` when the antichain contains exactly the string `s`
+    /// (membership, not domination). Iterative cursor walk.
+    #[must_use]
+    pub fn contains(&self, s: &BitString) -> bool {
+        let mut i = 0usize;
+        for bit in s.iter() {
+            if self.tags.get(i) != NODE {
+                return false;
+            }
+            i = match bit {
+                Bit::Zero => i + 1,
+                Bit::One => self.subtree_end(i + 1),
+            };
+        }
+        self.tags.get(i) == ELEM
+    }
+
+    /// Returns `true` when `{s} ⊑ self`, i.e. some element of the antichain
+    /// has `s` as a prefix.
+    #[must_use]
+    pub fn dominates_string(&self, s: &BitString) -> bool {
+        let mut i = 0usize;
+        for bit in s.iter() {
+            if self.tags.get(i) != NODE {
+                return false;
+            }
+            i = match bit {
+                Bit::Zero => i + 1,
+                Bit::One => self.subtree_end(i + 1),
+            };
+        }
+        self.tags.get(i) != EMPTY
+    }
+
+    /// Converts the antichain set representation into the packed form.
+    ///
+    /// The sorted antichain order *is* the preorder leaf order of the trie,
+    /// so the tags are emitted directly from a radix partition of the
+    /// sorted strings — the intermediate boxed trie is never built.
+    #[must_use]
+    pub fn from_name(name: &Name) -> PackedName {
+        let strings: Vec<&BitString> = name.iter().collect();
+        let mut tags = TagVec::new();
+        // Frames are (start, end, depth) ranges of `strings`, pushed in
+        // reverse so preorder (zero branch first) pops first.
+        let mut frames: Vec<(usize, usize, usize)> = vec![(0, strings.len(), 0)];
+        while let Some((start, end, depth)) = frames.pop() {
+            if start == end {
+                tags.push(EMPTY);
+                continue;
+            }
+            if end - start == 1 && strings[start].len() == depth {
+                // The antichain property guarantees no other string shares
+                // this prefix when one terminates here.
+                tags.push(ELEM);
+                continue;
+            }
+            tags.push(NODE);
+            // Sorted order puts all zero-branch strings first.
+            let split = strings[start..end]
+                .iter()
+                .position(|s| s.get(depth) == Some(Bit::One))
+                .map_or(end, |p| start + p);
+            frames.push((split, end, depth + 1));
+            frames.push((start, split, depth + 1));
+        }
+        PackedName { tags, strings: strings.len() as u32, bits: name.bit_size() as u32 }
+    }
+
+    /// Converts back into the explicit antichain representation.
+    #[must_use]
+    pub fn to_name(&self) -> Name {
+        Name::from_strings(self.strings())
+    }
+
+    /// The strings of the antichain, leftmost first. Iterative walk with an
+    /// explicit branch stack.
+    #[must_use]
+    pub fn strings(&self) -> Vec<BitString> {
+        let mut out = Vec::with_capacity(self.string_count());
+        let mut prefix = BitString::empty();
+        // One entry per open interior node: `false` while inside its zero
+        // child, `true` while inside its one child.
+        let mut open: Vec<bool> = Vec::new();
+        for i in 0..self.tags.len() {
+            match self.tags.get(i) {
+                NODE => {
+                    open.push(false);
+                    prefix.push(Bit::Zero);
+                }
+                tag => {
+                    if tag == ELEM {
+                        out.push(prefix.clone());
+                    }
+                    // Ascend past completed subtrees.
+                    while let Some(in_one) = open.last_mut() {
+                        if *in_one {
+                            open.pop();
+                            prefix.pop();
+                        } else {
+                            *in_one = true;
+                            prefix.pop();
+                            prefix.push(Bit::One);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the simplification rule of Section 6 to a stamp given as the
+    /// pair `(update, id)`, returning the fully reduced pair.
+    ///
+    /// The implementation is an iterative stack machine over the two tag
+    /// arrays. It emits both results in *mirrored postorder* (one child,
+    /// zero child, then parent), so a sibling collapse only ever rewrites
+    /// the tail of the output buffer; a final reverse pass restores
+    /// preorder. No recursion, no per-node allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, PackedName};
+    /// let update = PackedName::from_name(&"{01}".parse::<Name>().unwrap());
+    /// let id = PackedName::from_name(&"{00, 01}".parse::<Name>().unwrap());
+    /// let (u, i) = PackedName::reduce_pair(&update, &id);
+    /// assert_eq!(i.to_name(), "{0}".parse::<Name>().unwrap());
+    /// assert_eq!(u.to_name(), "{0}".parse::<Name>().unwrap());
+    /// ```
+    #[must_use]
+    pub fn reduce_pair(update: &PackedName, id: &PackedName) -> (PackedName, PackedName) {
+        let uv = update.tags.view();
+        let iv = id.tags.view();
+        // Subtree ends, precomputed in one pass each: the machine needs the
+        // start of every `one` child, and deriving it by scanning the
+        // sibling subtree would be quadratic on spine-shaped identities.
+        let u_ends = uv.subtree_ends();
+        let i_ends = iv.subtree_ends();
+        // Reversed-preorder output buffers (one byte per tag while under
+        // construction, packed at the end).
+        let mut rev_u: Vec<u8> = Vec::with_capacity(update.tags.len());
+        let mut rev_i: Vec<u8> = Vec::with_capacity(id.tags.len());
+        // Marks recorded between the two child visits of each Combine.
+        let mut boundaries: Vec<(usize, usize)> = Vec::new();
+        let mut tasks: Vec<Task> = vec![Task::Visit { ui: Some(0), ii: 0, emit_u: true }];
+
+        while let Some(task) = tasks.pop() {
+            match task {
+                Task::Boundary => boundaries.push((rev_u.len(), rev_i.len())),
+                Task::Visit { ui, ii, emit_u } => {
+                    let id_tag = iv.tag(ii);
+                    if id_tag != NODE {
+                        // Id leaf: both components pass through unchanged.
+                        rev_i.push(id_tag);
+                        if emit_u {
+                            let start = ui.expect("emitting frames track a real update subtree");
+                            let end = u_ends[start] as usize;
+                            for k in (start..end).rev() {
+                                rev_u.push(uv.tag(k));
+                            }
+                        }
+                        continue;
+                    }
+                    let i0 = ii + 1;
+                    let i1 = i_ends[i0] as usize;
+                    let update_tag = ui.map(|u| uv.tag(u));
+                    match update_tag {
+                        Some(NODE) => {
+                            let u0 = ui.expect("checked") + 1;
+                            let u1 = u_ends[u0] as usize;
+                            tasks.push(Task::Combine {
+                                kind: CombineKind::UpdateNode,
+                                mu: rev_u.len(),
+                                mi: rev_i.len(),
+                                emit_u,
+                            });
+                            tasks.push(Task::Visit { ui: Some(u0), ii: i0, emit_u });
+                            tasks.push(Task::Boundary);
+                            tasks.push(Task::Visit { ui: Some(u1), ii: i1, emit_u });
+                        }
+                        leaf => {
+                            // The update has no element strictly below this
+                            // node: only the id can be rewritten here.
+                            tasks.push(Task::Combine {
+                                kind: CombineKind::UpdateLeaf(leaf.unwrap_or(EMPTY)),
+                                mu: rev_u.len(),
+                                mi: rev_i.len(),
+                                emit_u,
+                            });
+                            tasks.push(Task::Visit { ui: None, ii: i0, emit_u: false });
+                            tasks.push(Task::Boundary);
+                            tasks.push(Task::Visit { ui: None, ii: i1, emit_u: false });
+                        }
+                    }
+                }
+                Task::Combine { kind, mu, mi, emit_u } => {
+                    let (bu, bi) = boundaries.pop().expect("every combine records a boundary");
+                    // Child result segments, in reversed preorder: the one
+                    // child occupies [mi..bi], the zero child [bi..].
+                    let seg_is =
+                        |buf: &[u8], lo: usize, hi: usize, tag: u8| hi - lo == 1 && buf[lo] == tag;
+                    let i_len = rev_i.len();
+                    let collapse = seg_is(&rev_i, mi, bi, ELEM) && seg_is(&rev_i, bi, i_len, ELEM);
+                    let i_vanishes =
+                        seg_is(&rev_i, mi, bi, EMPTY) && seg_is(&rev_i, bi, i_len, EMPTY);
+                    if collapse {
+                        rev_i.truncate(mi);
+                        rev_i.push(ELEM);
+                    } else if i_vanishes {
+                        // Only reachable from non-canonical input; mirror the
+                        // smart constructor of the boxed trie.
+                        rev_i.truncate(mi);
+                        rev_i.push(EMPTY);
+                    } else {
+                        rev_i.push(NODE);
+                    }
+                    match kind {
+                        CombineKind::UpdateNode => {
+                            let u_len = rev_u.len();
+                            let u_elem =
+                                seg_is(&rev_u, mu, bu, ELEM) || seg_is(&rev_u, bu, u_len, ELEM);
+                            let u_vanishes =
+                                seg_is(&rev_u, mu, bu, EMPTY) && seg_is(&rev_u, bu, u_len, EMPTY);
+                            if collapse && u_elem {
+                                rev_u.truncate(mu);
+                                rev_u.push(ELEM);
+                            } else if u_vanishes {
+                                rev_u.truncate(mu);
+                                rev_u.push(EMPTY);
+                            } else {
+                                rev_u.push(NODE);
+                            }
+                        }
+                        CombineKind::UpdateLeaf(tag) => {
+                            if emit_u {
+                                rev_u.push(tag);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let pack = |rev: &[u8]| {
+            let mut tags = TagVec::with_tag_capacity(rev.len());
+            for &tag in rev.iter().rev() {
+                tags.push(tag);
+            }
+            PackedName::from_tags(tags)
+        };
+        (pack(&rev_u), pack(&rev_i))
+    }
+}
+
+enum Task {
+    /// Reduce the pair of subtrees rooted at `ui` (None = virtual empty
+    /// update) and `ii`, emitting the update result only when `emit_u`.
+    Visit { ui: Option<usize>, ii: usize, emit_u: bool },
+    /// Record the output lengths between the two child visits.
+    Boundary,
+    /// Combine the two child results into this node's result.
+    Combine { kind: CombineKind, mu: usize, mi: usize, emit_u: bool },
+}
+
+enum CombineKind {
+    /// The update is an interior node here: its children were reduced too.
+    UpdateNode,
+    /// The update is `Empty`/`Elem` here (the tag is carried verbatim).
+    UpdateLeaf(u8),
+}
+
+impl fmt::Display for PackedName {
+    /// Displays the antichain the tags denote, in the paper's set notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_name())
+    }
+}
+
+impl fmt::Debug for PackedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedName{}", self.to_name())
+    }
+}
+
+impl From<&Name> for PackedName {
+    fn from(name: &Name) -> Self {
+        PackedName::from_name(name)
+    }
+}
+
+impl From<Name> for PackedName {
+    fn from(name: Name) -> Self {
+        PackedName::from_name(&name)
+    }
+}
+
+impl From<&PackedName> for Name {
+    fn from(packed: &PackedName) -> Self {
+        packed.to_name()
+    }
+}
+
+impl From<PackedName> for Name {
+    fn from(packed: PackedName) -> Self {
+        packed.to_name()
+    }
+}
+
+impl FromStr for PackedName {
+    type Err = ParseNameError;
+
+    /// Parses the same `{…}` syntax as [`Name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(PackedName::from_name(&s.parse::<Name>()?))
+    }
+}
+
+/// Builds a [`PackedName`] directly from raw decoder output.
+///
+/// Internal seam for [`crate::encode`]: `tags` must describe a canonical
+/// preorder trie (`0 = Empty`, `1 = Elem`, `2 = Node`), as validated by the
+/// decoder.
+pub(crate) fn from_raw_tags(raw: &[u8]) -> PackedName {
+    let mut tags = TagVec::with_tag_capacity(raw.len());
+    for &tag in raw {
+        tags.push(tag);
+    }
+    PackedName::from_tags(tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NameTree;
+
+    fn name(s: &str) -> Name {
+        s.parse().expect("valid name literal")
+    }
+
+    fn packed(s: &str) -> PackedName {
+        s.parse().expect("valid name literal")
+    }
+
+    const SAMPLES: &[&str] = &[
+        "{}",
+        "{ε}",
+        "{0}",
+        "{1}",
+        "{0, 1}",
+        "{01}",
+        "{01, 1}",
+        "{00, 011}",
+        "{000, 011, 1}",
+        "{00, 01, 10, 11}",
+        "{000, 001, 01, 1}",
+        "{0110, 0111, 010, 00, 1}",
+    ];
+
+    #[test]
+    fn conversion_roundtrips() {
+        for lit in SAMPLES {
+            let n = name(lit);
+            let p = PackedName::from_name(&n);
+            assert_eq!(p.to_name(), n, "roundtrip failed for {lit}");
+            let via_from: PackedName = PackedName::from(&n);
+            assert_eq!(via_from, p);
+            let back: Name = Name::from(&p);
+            assert_eq!(back, n);
+        }
+    }
+
+    #[test]
+    fn agrees_with_tree_on_all_operations() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let (na, nb) = (name(a), name(b));
+                let (ta, tb) = (NameTree::from_name(&na), NameTree::from_name(&nb));
+                let (pa, pb) = (PackedName::from_name(&na), PackedName::from_name(&nb));
+                assert_eq!(pa.leq(&pb), ta.leq(&tb), "leq mismatch {a} vs {b}");
+                assert_eq!(pa.lt(&pb), ta.lt(&tb), "lt mismatch {a} vs {b}");
+                assert_eq!(pa.relation(&pb), ta.relation(&tb));
+                assert_eq!(
+                    pa.join(&pb).to_name(),
+                    ta.join(&tb).to_name(),
+                    "join mismatch {a} ⊔ {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_matches_tree_append() {
+        for a in SAMPLES {
+            for bit in [Bit::Zero, Bit::One] {
+                let expected = NameTree::from_name(&name(a)).append(bit).to_name();
+                assert_eq!(packed(a).append(bit).to_name(), expected, "append mismatch {a}·{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_and_domination_agree_with_name() {
+        let strings = ["ε", "0", "1", "00", "01", "011", "0110", "10", "111"];
+        for a in SAMPLES {
+            let (n, p) = (name(a), packed(a));
+            for s in strings {
+                let bs: BitString = s.parse().unwrap();
+                assert_eq!(p.contains(&bs), n.contains(&bs), "contains mismatch {a} / {s}");
+                assert_eq!(
+                    p.dominates_string(&bs),
+                    n.dominates_string(&bs),
+                    "dominates mismatch {a} / {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_metrics_agree_with_name() {
+        for a in SAMPLES {
+            let (n, p) = (name(a), packed(a));
+            assert_eq!(p.string_count(), n.len(), "string_count mismatch for {a}");
+            assert_eq!(p.bit_size(), n.bit_size(), "bit_size mismatch for {a}");
+            assert_eq!(p.depth(), n.depth(), "depth mismatch for {a}");
+            assert_eq!(
+                p.node_count(),
+                NameTree::from_name(&n).node_count(),
+                "node_count mismatch for {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_stay_cached_through_operations() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let joined = packed(a).join(&packed(b));
+                let expected = name(a).join(&name(b));
+                assert_eq!(joined.string_count(), expected.len());
+                assert_eq!(joined.bit_size(), expected.bit_size());
+                for bit in [Bit::Zero, Bit::One] {
+                    let appended = joined.append(bit);
+                    let expected = expected.append(bit);
+                    assert_eq!(appended.string_count(), expected.len());
+                    assert_eq!(appended.bit_size(), expected.bit_size());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_pair_matches_tree_reduction() {
+        for u in SAMPLES {
+            for i in SAMPLES {
+                let (tu, ti) = NameTree::reduce_pair(
+                    &NameTree::from_name(&name(u)),
+                    &NameTree::from_name(&name(i)),
+                );
+                let (pu, pi) = PackedName::reduce_pair(&packed(u), &packed(i));
+                assert_eq!(pu.to_name(), tu.to_name(), "reduce update mismatch ({u}, {i})");
+                assert_eq!(pi.to_name(), ti.to_name(), "reduce id mismatch ({u}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(PackedName::empty().is_empty());
+        assert!(!PackedName::epsilon().is_empty());
+        assert!(PackedName::epsilon().is_epsilon());
+        assert!(!PackedName::empty().is_epsilon());
+        assert_eq!(PackedName::empty().to_name(), Name::empty());
+        assert_eq!(PackedName::epsilon().to_name(), Name::epsilon());
+        assert_eq!(PackedName::default(), PackedName::empty());
+    }
+
+    #[test]
+    fn inline_buffer_spills_transparently_past_capacity() {
+        // A deep fork chain pushes the tag count far beyond INLINE_TAGS.
+        let mut n = PackedName::epsilon();
+        for i in 0..200 {
+            n = n.append(if i % 2 == 0 { Bit::Zero } else { Bit::One });
+        }
+        assert_eq!(n.string_count(), 1);
+        assert_eq!(n.bit_size(), 200);
+        assert_eq!(n.depth(), 200);
+        assert!(n.node_count() > INLINE_TAGS);
+        let round = PackedName::from_name(&n.to_name());
+        assert_eq!(round, n);
+        // Equality and ordering still work across the spill boundary.
+        assert!(PackedName::epsilon().leq(&n));
+        assert!(!n.leq(&PackedName::epsilon()));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        for lit in SAMPLES {
+            assert_eq!(packed(lit).to_string(), name(lit).to_string());
+        }
+        assert!("{0,".parse::<PackedName>().is_err());
+        let debug = format!("{:?}", packed("{0, 1}"));
+        assert!(debug.contains("PackedName"));
+    }
+
+    #[test]
+    fn hash_and_eq_are_structural() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for lit in SAMPLES {
+            let a = packed(lit);
+            let b = PackedName::from_name(&name(lit));
+            assert_eq!(a, b);
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            assert_eq!(ha.finish(), hb.finish(), "hash mismatch for {lit}");
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //! same rule ([`crate::NameTree::reduce_pair`]); the two are property-tested
 //! against each other.
 
-use crate::bitstring::BitString;
+use crate::bitstring::{Bit, BitString};
 use crate::name::Name;
 
 /// A single candidate application of the rewriting rule: the id contains both
@@ -49,21 +49,24 @@ pub struct SiblingPair {
 /// ```
 #[must_use]
 pub fn sibling_pairs(id: &Name) -> Vec<SiblingPair> {
+    // In the sorted order of an antichain, `s·0` and `s·1` are always
+    // adjacent: any string strictly between them would have to extend `s·0`
+    // or equal a prefix of `s·1`, both of which the antichain property
+    // forbids. One linear scan over consecutive members therefore finds
+    // every pair — no per-element membership lookups.
     let mut pairs = Vec::new();
-    for s in id.iter() {
-        // Consider each member ending in 0 and look for its sibling; visiting
-        // only the 0-side avoids reporting each pair twice.
-        if s.last().map(|b| b.is_zero()) != Some(true) {
-            continue;
+    let mut iter = id.iter();
+    let Some(mut prev) = iter.next() else {
+        return pairs;
+    };
+    for next in iter {
+        if prev.last() == Some(Bit::Zero) && prev.len() == next.len() {
+            let parent = prev.parent().expect("non-empty string has a parent");
+            if next.last() == Some(Bit::One) && parent.is_prefix_of(next) {
+                pairs.push(SiblingPair { parent, zero: prev.clone(), one: next.clone() });
+            }
         }
-        let sibling = s.sibling().expect("non-empty string has a sibling");
-        if id.contains(&sibling) {
-            pairs.push(SiblingPair {
-                parent: s.parent().expect("non-empty string has a parent"),
-                zero: s.clone(),
-                one: sibling,
-            });
-        }
+        prev = next;
     }
     pairs
 }
@@ -277,7 +280,10 @@ mod tests {
         ];
         for (u, i) in cases {
             let (nu, ni) = reduce_name_pair(&name(u), &name(i));
-            let (tu, ti) = NameTree::reduce_pair(&NameTree::from_name(&name(u)), &NameTree::from_name(&name(i)));
+            let (tu, ti) = NameTree::reduce_pair(
+                &NameTree::from_name(&name(u)),
+                &NameTree::from_name(&name(i)),
+            );
             assert_eq!(tu.to_name(), nu, "update mismatch for ({u}, {i})");
             assert_eq!(ti.to_name(), ni, "id mismatch for ({u}, {i})");
         }

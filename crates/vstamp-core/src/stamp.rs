@@ -51,6 +51,7 @@ use crate::bitstring::Bit;
 use crate::error::StampError;
 use crate::name::Name;
 use crate::name_like::NameLike;
+use crate::packed::PackedName;
 use crate::relation::Relation;
 use crate::tree::NameTree;
 
@@ -107,6 +108,11 @@ pub type VersionStamp = Stamp<NameTree>;
 /// of the paper; used by the model-level tests and the `repr` ablation.
 pub type SetStamp = Stamp<Name>;
 
+/// Version stamp backed by the flat preorder tag array
+/// ([`PackedName`]) — the cache-friendly, allocation-free hot-path
+/// representation.
+pub type PackedStamp = Stamp<PackedName>;
+
 impl<N: NameLike> Stamp<N> {
     /// The stamp of the initial element of a system: `({ε}, {ε})`
     /// (Definition 4.3).
@@ -148,10 +154,7 @@ impl<N: NameLike> Stamp<N> {
             return Err(StampError::EmptyId);
         }
         if !update.leq(&id) {
-            return Err(StampError::UpdateExceedsId {
-                update: update.to_name(),
-                id: id.to_name(),
-            });
+            return Err(StampError::UpdateExceedsId { update: update.to_name(), id: id.to_name() });
         }
         Ok(Stamp { update, id })
     }
@@ -250,10 +253,7 @@ impl<N: NameLike> Stamp<N> {
     /// Joins under an explicit [`Reduction`] policy.
     #[must_use]
     pub fn join_with(&self, other: &Self, reduction: Reduction) -> Self {
-        let joined = Stamp {
-            update: self.update.join(&other.update),
-            id: self.id.join(&other.id),
-        };
+        let joined = Stamp { update: self.update.join(&other.update), id: self.id.join(&other.id) };
         match reduction {
             Reduction::Reducing => joined.reduce(),
             Reduction::NonReducing => joined,
@@ -360,13 +360,29 @@ impl<N: NameLike> Stamp<N> {
         Stamp { update: self.update.to_name(), id: self.id.to_name() }
     }
 
-    /// Converts to the packed trie representation.
+    /// Converts to the boxed trie representation.
     #[must_use]
     pub fn to_tree_stamp(&self) -> VersionStamp {
         Stamp {
             update: NameTree::from_name(&self.update.to_name()),
             id: NameTree::from_name(&self.id.to_name()),
         }
+    }
+
+    /// Converts to the flat tag-array representation.
+    #[must_use]
+    pub fn to_packed_stamp(&self) -> PackedStamp {
+        Stamp {
+            update: PackedName::from_name(&self.update.to_name()),
+            id: PackedName::from_name(&self.id.to_name()),
+        }
+    }
+
+    /// Number of bits the wire encoding of this stamp occupies, computed
+    /// directly on the backing representation.
+    #[must_use]
+    pub fn encoded_bits(&self) -> usize {
+        self.update.encoded_bits() + self.id.encoded_bits()
     }
 }
 
@@ -399,6 +415,30 @@ impl From<SetStamp> for VersionStamp {
 impl From<VersionStamp> for SetStamp {
     fn from(stamp: VersionStamp) -> Self {
         stamp.to_set_stamp()
+    }
+}
+
+impl From<SetStamp> for PackedStamp {
+    fn from(stamp: SetStamp) -> Self {
+        stamp.to_packed_stamp()
+    }
+}
+
+impl From<VersionStamp> for PackedStamp {
+    fn from(stamp: VersionStamp) -> Self {
+        stamp.to_packed_stamp()
+    }
+}
+
+impl From<PackedStamp> for SetStamp {
+    fn from(stamp: PackedStamp) -> Self {
+        stamp.to_set_stamp()
+    }
+}
+
+impl From<PackedStamp> for VersionStamp {
+    fn from(stamp: PackedStamp) -> Self {
+        stamp.to_tree_stamp()
     }
 }
 

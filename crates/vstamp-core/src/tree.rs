@@ -190,17 +190,42 @@ impl NameTree {
     /// ```
     #[must_use]
     pub fn join(&self, other: &NameTree) -> NameTree {
-        match (self, other) {
-            (NameTree::Empty, n) | (n, NameTree::Empty) => n.clone(),
+        match Self::join_ref(self, other) {
+            JoinOut::Borrowed(t) => t.clone(),
+            JoinOut::Owned(t) => t,
+        }
+    }
+
+    /// Join that *borrows* whenever the result is a subtree of either input
+    /// (the Empty/Elem arms and any interior node whose merged children are
+    /// both reused), so dominated subtrees are cloned once at the top
+    /// instead of rebuilt box-by-box on the way up.
+    fn join_ref<'a>(a: &'a NameTree, b: &'a NameTree) -> JoinOut<'a> {
+        match (a, b) {
+            (NameTree::Empty, n) | (n, NameTree::Empty) => JoinOut::Borrowed(n),
             (NameTree::Elem, n) | (n, NameTree::Elem) => {
                 if n.is_empty() {
-                    NameTree::Elem
+                    JoinOut::Borrowed(&NameTree::Elem)
                 } else {
-                    n.clone()
+                    JoinOut::Borrowed(n)
                 }
             }
             (NameTree::Node(zero, one), NameTree::Node(other_zero, other_one)) => {
-                NameTree::node(zero.join(other_zero), one.join(other_one))
+                let z = Self::join_ref(zero, other_zero);
+                let o = Self::join_ref(one, other_one);
+                // Reuse a whole input subtree when both children came back
+                // as exactly that input's children.
+                if let (JoinOut::Borrowed(zr), JoinOut::Borrowed(or)) = (&z, &o) {
+                    if core::ptr::eq(*zr, zero.as_ref()) && core::ptr::eq(*or, one.as_ref()) {
+                        return JoinOut::Borrowed(a);
+                    }
+                    if core::ptr::eq(*zr, other_zero.as_ref())
+                        && core::ptr::eq(*or, other_one.as_ref())
+                    {
+                        return JoinOut::Borrowed(b);
+                    }
+                }
+                JoinOut::Owned(NameTree::node(z.into_owned(), o.into_owned()))
             }
         }
     }
@@ -315,61 +340,82 @@ impl NameTree {
     }
 
     /// Converts the antichain set representation into the trie form.
+    ///
+    /// Each string is threaded into the trie **in place** — no subtree is
+    /// cloned on the way down, so the conversion is `O(total bits)` instead
+    /// of the quadratic copy-on-write rebuild it used to be.
     #[must_use]
     pub fn from_name(name: &Name) -> NameTree {
         let mut tree = NameTree::Empty;
         for s in name.iter() {
-            tree = tree.with_string_inserted(s, 0);
+            tree.insert_string_in_place(s);
         }
         tree
     }
 
-    fn with_string_inserted(&self, s: &BitString, index: usize) -> NameTree {
-        if index == s.len() {
-            // The inserted string ends here. Inserting into an antichain that
-            // already has elements below would break well-formedness, but
-            // `Name` guarantees antichains so the subtree must be empty.
-            return NameTree::Elem;
+    fn insert_string_in_place(&mut self, s: &BitString) {
+        let mut node = self;
+        for bit in s.iter() {
+            if !matches!(node, NameTree::Node(_, _)) {
+                // `Name` guarantees antichains, so a non-node here can only
+                // be `Empty` (no inserted string is a prefix of another).
+                *node = NameTree::Node(Box::new(NameTree::Empty), Box::new(NameTree::Empty));
+            }
+            node = match node {
+                NameTree::Node(zero, one) => match bit {
+                    Bit::Zero => zero,
+                    Bit::One => one,
+                },
+                _ => unreachable!("just materialized an interior node"),
+            };
         }
-        let bit = s.get(index).expect("index bounded by length");
-        let (zero, one) = match self {
-            NameTree::Node(zero, one) => ((**zero).clone(), (**one).clone()),
-            _ => (NameTree::Empty, NameTree::Empty),
-        };
-        match bit {
-            Bit::Zero => NameTree::node(zero.with_string_inserted(s, index + 1), one),
-            Bit::One => NameTree::node(zero, one.with_string_inserted(s, index + 1)),
-        }
+        *node = NameTree::Elem;
     }
 
     /// Converts the trie back into the explicit antichain representation.
     #[must_use]
     pub fn to_name(&self) -> Name {
-        let mut out = Vec::new();
-        self.collect_strings(&mut BitString::empty(), &mut out);
-        Name::from_strings(out)
-    }
-
-    fn collect_strings(&self, prefix: &mut BitString, out: &mut Vec<BitString>) {
-        match self {
-            NameTree::Empty => {}
-            NameTree::Elem => out.push(prefix.clone()),
-            NameTree::Node(zero, one) => {
-                prefix.push(Bit::Zero);
-                zero.collect_strings(prefix, out);
-                prefix.pop();
-                prefix.push(Bit::One);
-                one.collect_strings(prefix, out);
-                prefix.pop();
-            }
-        }
+        Name::from_strings(self.strings())
     }
 
     /// Iterates over the strings of the antichain (leftmost first).
+    ///
+    /// The walk is iterative — an explicit stack instead of recursion — so
+    /// deep fork-chain identities cannot overflow the call stack.
     #[must_use]
     pub fn strings(&self) -> Vec<BitString> {
         let mut out = Vec::new();
-        self.collect_strings(&mut BitString::empty(), &mut out);
+        let mut prefix = BitString::empty();
+        // Each frame is (subtree, the bit that leads to it, or None at the
+        // root); `None` subtree markers pop the prefix on the way back up.
+        enum Step<'a> {
+            Enter(&'a NameTree, Option<Bit>),
+            Leave,
+        }
+        let mut stack = vec![Step::Enter(self, None)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Leave => {
+                    prefix.pop();
+                }
+                Step::Enter(tree, via) => {
+                    if let Some(bit) = via {
+                        prefix.push(bit);
+                        stack.push(Step::Leave);
+                    }
+                    match tree {
+                        NameTree::Empty => {}
+                        NameTree::Elem => out.push(prefix.clone()),
+                        NameTree::Node(zero, one) => {
+                            // Pushed in reverse so the zero branch pops first,
+                            // preserving leftmost-first order.
+                            stack.push(Step::Enter(one, Some(Bit::One)));
+                            stack.push(Step::Enter(zero, Some(Bit::Zero)));
+                        }
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -405,7 +451,8 @@ impl NameTree {
                     let (u0, i0) = NameTree::reduce_pair(up_zero, id_zero);
                     let (u1, i1) = NameTree::reduce_pair(up_one, id_one);
                     if matches!(i0, NameTree::Elem) && matches!(i1, NameTree::Elem) {
-                        let update = if matches!(u0, NameTree::Elem) || matches!(u1, NameTree::Elem) {
+                        let update = if matches!(u0, NameTree::Elem) || matches!(u1, NameTree::Elem)
+                        {
                             NameTree::Elem
                         } else {
                             NameTree::node(u0, u1)
@@ -427,6 +474,22 @@ impl NameTree {
                     }
                 }
             },
+        }
+    }
+}
+
+/// Result of [`NameTree::join_ref`]: either a borrowed subtree of one of
+/// the inputs or a freshly built node.
+enum JoinOut<'a> {
+    Borrowed(&'a NameTree),
+    Owned(NameTree),
+}
+
+impl JoinOut<'_> {
+    fn into_owned(self) -> NameTree {
+        match self {
+            JoinOut::Borrowed(t) => t.clone(),
+            JoinOut::Owned(t) => t,
         }
     }
 }
@@ -614,7 +677,7 @@ mod tests {
         let fixed = bad.canonicalize();
         assert!(fixed.is_canonical());
         assert_eq!(fixed.to_name(), name("{1}"));
-        assert!(bad.is_empty() == false);
+        assert!(!bad.is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! preservation of the stamp invariants.
 
 use proptest::prelude::*;
-use vstamp_core::{simplify, Bit, BitString, Name, NameTree, SetStamp};
+use vstamp_core::{simplify, Bit, BitString, Name, SetStamp};
 
 /// Builds a random valid id: take a full binary "fork tree" shape by
 /// repeatedly replacing a string with its two children, so the result is

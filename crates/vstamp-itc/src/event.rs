@@ -129,12 +129,12 @@ impl EventTree {
             (EventTree::Leaf(a), EventTree::Leaf(b)) => a <= b,
             (EventTree::Leaf(a), EventTree::Node(b, _, _)) => a <= b,
             (EventTree::Node(a, l, r), EventTree::Leaf(b)) => {
-                a <= b && l.lifted(*a).leq(&EventTree::Leaf(*b)) && r.lifted(*a).leq(&EventTree::Leaf(*b))
+                a <= b
+                    && l.lifted(*a).leq(&EventTree::Leaf(*b))
+                    && r.lifted(*a).leq(&EventTree::Leaf(*b))
             }
             (EventTree::Node(a, l1, r1), EventTree::Node(b, l2, r2)) => {
-                a <= b
-                    && l1.lifted(*a).leq(&l2.lifted(*b))
-                    && r1.lifted(*a).leq(&r2.lifted(*b))
+                a <= b && l1.lifted(*a).leq(&l2.lifted(*b)) && r1.lifted(*a).leq(&r2.lifted(*b))
             }
         }
     }
@@ -162,11 +162,7 @@ impl EventTree {
                     return other.join(self);
                 }
                 let shift = b - a;
-                EventTree::node(
-                    *a,
-                    l1.join(&l2.lifted(shift)),
-                    r1.join(&r2.lifted(shift)),
-                )
+                EventTree::node(*a, l1.join(&l2.lifted(shift)), r1.join(&r2.lifted(shift)))
             }
         }
     }
@@ -221,7 +217,10 @@ mod tests {
         assert_eq!(node(2, EventTree::leaf(1), EventTree::leaf(1)), EventTree::Leaf(3));
         // minima are lifted into the base
         let n = node(1, EventTree::leaf(2), EventTree::leaf(5));
-        assert_eq!(n, EventTree::Node(3, Box::new(EventTree::Leaf(0)), Box::new(EventTree::Leaf(3))));
+        assert_eq!(
+            n,
+            EventTree::Node(3, Box::new(EventTree::Leaf(0)), Box::new(EventTree::Leaf(3)))
+        );
         assert!(n.is_normalized());
         assert_eq!(n.min_value(), 3);
         assert_eq!(n.max_value(), 6);
@@ -246,7 +245,11 @@ mod tests {
     fn normalized_rebuilds_raw_trees() {
         let raw = EventTree::Node(
             1,
-            Box::new(EventTree::Node(0, Box::new(EventTree::Leaf(2)), Box::new(EventTree::Leaf(2)))),
+            Box::new(EventTree::Node(
+                0,
+                Box::new(EventTree::Leaf(2)),
+                Box::new(EventTree::Leaf(2)),
+            )),
             Box::new(EventTree::Leaf(3)),
         );
         assert!(!raw.is_normalized());
@@ -265,7 +268,7 @@ mod tests {
         assert!(a.leq(&b));
         assert!(!b.leq(&a));
         assert!(a.leq(&a));
-        assert!(EventTree::leaf(2).leq(&a) == false);
+        assert!(!EventTree::leaf(2).leq(&a));
         assert!(EventTree::leaf(0).leq(&a));
         // leaf vs node comparisons in both directions
         assert!(a.leq(&EventTree::leaf(2)));
@@ -318,7 +321,7 @@ mod tests {
         ];
         for a in &samples {
             for b in &samples {
-                assert_eq!(a.leq(b), &a.join(b) == &b.normalized(), "a={a} b={b}");
+                assert_eq!(a.leq(b), a.join(b) == b.normalized(), "a={a} b={b}");
             }
         }
     }

@@ -65,8 +65,10 @@ impl IdTree {
         match self {
             IdTree::Zero | IdTree::One => true,
             IdTree::Node(l, r) => {
-                !matches!((l.as_ref(), r.as_ref()), (IdTree::Zero, IdTree::Zero) | (IdTree::One, IdTree::One))
-                    && l.is_normalized()
+                !matches!(
+                    (l.as_ref(), r.as_ref()),
+                    (IdTree::Zero, IdTree::Zero) | (IdTree::One, IdTree::One)
+                ) && l.is_normalized()
                     && r.is_normalized()
             }
         }
@@ -88,10 +90,9 @@ impl IdTree {
     pub fn split(&self) -> (IdTree, IdTree) {
         match self {
             IdTree::Zero => (IdTree::Zero, IdTree::Zero),
-            IdTree::One => (
-                IdTree::node(IdTree::One, IdTree::Zero),
-                IdTree::node(IdTree::Zero, IdTree::One),
-            ),
+            IdTree::One => {
+                (IdTree::node(IdTree::One, IdTree::Zero), IdTree::node(IdTree::Zero, IdTree::One))
+            }
             IdTree::Node(l, r) => match (l.as_ref(), r.as_ref()) {
                 (IdTree::Zero, right) => {
                     let (r1, r2) = right.split();

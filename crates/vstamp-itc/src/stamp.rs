@@ -364,8 +364,11 @@ mod tests {
             replicas = next;
         }
         assert_eq!(replicas.len(), 8);
-        let updated: Vec<ItcStamp> =
-            replicas.iter().enumerate().map(|(i, r)| if i % 2 == 0 { r.event() } else { r.clone() }).collect();
+        let updated: Vec<ItcStamp> = replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| if i % 2 == 0 { r.event() } else { r.clone() })
+            .collect();
         let merged = updated.iter().skip(1).fold(updated[0].clone(), |acc, r| acc.join(r));
         assert!(merged.id().is_one());
         for r in &updated {

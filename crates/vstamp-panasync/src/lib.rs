@@ -282,7 +282,11 @@ impl Workspace {
     /// # Errors
     ///
     /// Returns [`WorkspaceError::UnknownLocation`] if the location is empty.
-    pub fn write(&mut self, location: &str, content: impl Into<String>) -> Result<(), WorkspaceError> {
+    pub fn write(
+        &mut self,
+        location: &str,
+        content: impl Into<String>,
+    ) -> Result<(), WorkspaceError> {
         let copy = self
             .copies
             .get_mut(location)
@@ -315,7 +319,10 @@ impl Workspace {
     ///
     /// Returns [`WorkspaceError::UnknownLocation`] for a missing location.
     pub fn compare(&self, left: &str, right: &str) -> Result<Relation, WorkspaceError> {
-        let l = self.copies.get(left).ok_or_else(|| WorkspaceError::UnknownLocation(left.to_owned()))?;
+        let l = self
+            .copies
+            .get(left)
+            .ok_or_else(|| WorkspaceError::UnknownLocation(left.to_owned()))?;
         let r = self
             .copies
             .get(right)
@@ -548,8 +555,14 @@ mod tests {
         assert_eq!(ws.get("edge-a").unwrap().content(), "port=3");
         assert_eq!(ws.get("edge-b").unwrap().content(), "port=3");
         assert_eq!(ws.compare("edge-a", "edge-b").unwrap(), Relation::Equal);
-        assert!(matches!(ws.synchronize("nowhere", "edge-a"), Err(WorkspaceError::UnknownLocation(_))));
-        assert!(matches!(ws.resolve("nowhere", "edge-a", "x"), Err(WorkspaceError::UnknownLocation(_))));
+        assert!(matches!(
+            ws.synchronize("nowhere", "edge-a"),
+            Err(WorkspaceError::UnknownLocation(_))
+        ));
+        assert!(matches!(
+            ws.resolve("nowhere", "edge-a", "x"),
+            Err(WorkspaceError::UnknownLocation(_))
+        ));
     }
 
     #[test]

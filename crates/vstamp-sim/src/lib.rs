@@ -44,4 +44,6 @@ pub use metrics::{measure_space, ComparisonTable, SpaceReport};
 pub use oracle::{check_against_oracle, AgreementReport, Disagreement};
 pub use runner::{compare_mechanisms, MechanismSet};
 pub use scenario::{figure1, figure2, figure3, figure4, stamp_walkthrough, Scenario};
-pub use workload::{generate, generate_fixed_population, generate_partition_heal, OperationMix, WorkloadSpec};
+pub use workload::{
+    generate, generate_fixed_population, generate_partition_heal, OperationMix, WorkloadSpec,
+};

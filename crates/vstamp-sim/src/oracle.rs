@@ -99,9 +99,7 @@ pub fn merged_frontier_dominates<M: Mechanism>(mechanism: M, trace: &Trace) -> b
     let merged_id = config.ids()[0];
     let merged = config.get(merged_id).expect("single element").clone();
     let mechanism_ref = config.mechanism();
-    snapshot
-        .iter()
-        .all(|element| mechanism_ref.relation(&merged, element).includes_right())
+    snapshot.iter().all(|element| mechanism_ref.relation(&merged, element).includes_right())
 }
 
 #[cfg(test)]
@@ -131,9 +129,17 @@ mod tests {
 
     #[test]
     fn non_reducing_stamps_and_baselines_agree_exactly() {
-        let trace = sample_trace(9);
+        // Update-heavy keeps the non-reducing identities small enough to
+        // replay (they grow exponentially with sync cycles, see ROADMAP).
+        let trace = generate(&WorkloadSpec::new(100, 8, 9).with_mix(OperationMix::update_heavy()));
         assert!(check_against_oracle(TreeStampMechanism::non_reducing(), &trace).is_exact());
-        assert!(check_against_oracle(StampMechanism::<vstamp_core::Name>::reducing(), &trace).is_exact());
+        assert!(check_against_oracle(StampMechanism::<vstamp_core::Name>::reducing(), &trace)
+            .is_exact());
+        assert!(check_against_oracle(
+            StampMechanism::<vstamp_core::PackedName>::reducing(),
+            &trace
+        )
+        .is_exact());
         assert!(check_against_oracle(FixedVersionVectorMechanism::new(), &trace).is_exact());
         assert!(check_against_oracle(VectorClockMechanism::new(), &trace).is_exact());
         assert!(check_against_oracle(DottedMechanism::new(), &trace).is_exact());
@@ -176,7 +182,7 @@ mod tests {
 
     #[test]
     fn merged_frontier_dominates_for_stamps_and_itc() {
-        let trace = sample_trace(5);
+        let trace = generate(&WorkloadSpec::new(100, 8, 5).with_mix(OperationMix::update_heavy()));
         assert!(merged_frontier_dominates(TreeStampMechanism::non_reducing(), &trace));
         assert!(merged_frontier_dominates(ItcMechanism::new(), &trace));
         assert!(merged_frontier_dominates(FixedVersionVectorMechanism::new(), &trace));

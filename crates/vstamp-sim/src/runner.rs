@@ -14,7 +14,7 @@ use vstamp_baselines::{
     RandomIdCausalMechanism, VectorClockMechanism,
 };
 use vstamp_core::causal::CausalMechanism;
-use vstamp_core::{Trace, TreeStampMechanism};
+use vstamp_core::{PackedStampMechanism, SetStampMechanism, Trace, TreeStampMechanism};
 use vstamp_itc::ItcMechanism;
 
 use crate::metrics::{measure_space, ComparisonTable, SpaceReport};
@@ -24,31 +24,58 @@ use crate::metrics::{measure_space, ComparisonTable, SpaceReport};
 pub enum MechanismSet {
     /// Version stamps only (reducing and non-reducing) — the E9 ablation.
     StampsOnly,
-    /// Version stamps, every baseline, and ITC — the full E7/E10 table.
+    /// The three name representations (set / boxed tree / packed tags),
+    /// all reducing — the `repr` ablation.
+    Representations,
+    /// Version stamps (boxed and packed), every baseline, and ITC — the
+    /// full E7/E10 table.
     All,
+    /// [`MechanismSet::All`] without the non-reducing stamps, for long
+    /// traces the non-reducing mechanism cannot replay (its identities
+    /// grow exponentially with sync cycles).
+    AllReducing,
 }
 
-fn measurement_jobs(set: MechanismSet, trace: &Trace) -> Vec<Box<dyn FnOnce() -> SpaceReport + Send>> {
+fn measurement_jobs(
+    set: MechanismSet,
+    trace: &Trace,
+) -> Vec<Box<dyn FnOnce() -> SpaceReport + Send>> {
     let mut jobs: Vec<Box<dyn FnOnce() -> SpaceReport + Send>> = Vec::new();
     let t = trace.clone();
     jobs.push(Box::new(move || measure_space(TreeStampMechanism::reducing(), &t)));
-    let t = trace.clone();
-    jobs.push(Box::new(move || measure_space(TreeStampMechanism::non_reducing(), &t)));
-    if set == MechanismSet::All {
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(FixedVersionVectorMechanism::new(), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(DynamicVersionVectorMechanism::new(), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(VectorClockMechanism::new(), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(DottedMechanism::new(), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(CausalMechanism::new(), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(RandomIdCausalMechanism::with_seed(0), &t)));
-        let t = trace.clone();
-        jobs.push(Box::new(move || measure_space(ItcMechanism::new(), &t)));
+    match set {
+        MechanismSet::StampsOnly => {
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(TreeStampMechanism::non_reducing(), &t)));
+        }
+        MechanismSet::Representations => {
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(SetStampMechanism::reducing(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(PackedStampMechanism::reducing(), &t)));
+        }
+        MechanismSet::All | MechanismSet::AllReducing => {
+            if set == MechanismSet::All {
+                let t = trace.clone();
+                jobs.push(Box::new(move || measure_space(TreeStampMechanism::non_reducing(), &t)));
+            }
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(PackedStampMechanism::reducing(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(FixedVersionVectorMechanism::new(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(DynamicVersionVectorMechanism::new(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(VectorClockMechanism::new(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(DottedMechanism::new(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(CausalMechanism::new(), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(RandomIdCausalMechanism::with_seed(0), &t)));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(ItcMechanism::new(), &t)));
+        }
     }
     jobs
 }
@@ -85,9 +112,13 @@ mod tests {
     use super::*;
     use crate::workload::{generate, OperationMix, WorkloadSpec};
 
+    // Trace sizes here are deliberately modest: the non-reducing mechanism's
+    // identities grow exponentially with the number of sync (join + fork)
+    // cycles, so longer traces make its replay infeasible (see ROADMAP).
+
     #[test]
     fn stamps_only_comparison_has_two_rows() {
-        let trace = generate(&WorkloadSpec::new(120, 6, 4));
+        let trace = generate(&WorkloadSpec::new(60, 5, 4).with_mix(OperationMix::update_heavy()));
         let table = compare_mechanisms(MechanismSet::StampsOnly, &trace);
         assert_eq!(table.rows().len(), 2);
         assert!(table.row("version-stamps").is_some());
@@ -95,13 +126,30 @@ mod tests {
     }
 
     #[test]
-    fn full_comparison_covers_every_mechanism_and_is_deterministic() {
+    fn representation_comparison_agrees_on_sizes() {
         let trace = generate(&WorkloadSpec::new(150, 8, 6).with_mix(OperationMix::churn_heavy()));
+        let table = compare_mechanisms(MechanismSet::Representations, &trace);
+        assert_eq!(table.rows().len(), 3);
+        let tree = table.row("version-stamps").expect("tree row");
+        let set = table.row("version-stamps-set").expect("set row");
+        let packed = table.row("version-stamps-packed").expect("packed row");
+        // The three representations encode the same names, so every space
+        // statistic must agree bit-for-bit.
+        assert_eq!(tree.mean_element_bits, set.mean_element_bits);
+        assert_eq!(tree.mean_element_bits, packed.mean_element_bits);
+        assert_eq!(tree.max_element_bits, packed.max_element_bits);
+        assert_eq!(tree.final_frontier_bits, packed.final_frontier_bits);
+    }
+
+    #[test]
+    fn full_comparison_covers_every_mechanism_and_is_deterministic() {
+        let trace = generate(&WorkloadSpec::new(80, 6, 6).with_mix(OperationMix::update_heavy()));
         let table = compare_mechanisms(MechanismSet::All, &trace);
-        assert_eq!(table.rows().len(), 9);
+        assert_eq!(table.rows().len(), 10);
         for name in [
             "version-stamps",
             "version-stamps-nonreducing",
+            "version-stamps-packed",
             "version-vectors",
             "dynamic-version-vectors",
             "vector-clocks",

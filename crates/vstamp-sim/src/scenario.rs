@@ -178,11 +178,7 @@ pub fn figure2() -> Scenario {
         _ => unreachable!(),
     };
 
-    Scenario {
-        name: "Figure 2",
-        trace,
-        labels: vec![("d1", d1), ("g1", g1), ("c3", c3)],
-    }
+    Scenario { name: "Figure 2", trace, labels: vec![("d1", d1), ("g1", g1), ("c3", c3)] }
 }
 
 /// Figure 3: the fixed three-replica system of Figure 1 re-expressed under

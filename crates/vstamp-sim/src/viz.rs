@@ -91,10 +91,8 @@ where
         let inputs = op.inputs();
         let applied = config.apply(*op).expect("trace replays cleanly");
         for output in applied.outputs() {
-            labels.insert(
-                output,
-                format!("{:?}", config.get(output).expect("just-created element")),
-            );
+            labels
+                .insert(output, format!("{:?}", config.get(output).expect("just-created element")));
             for &input in &inputs {
                 edges.push(EvolutionEdge { from: input, to: output, kind: op.kind() });
             }
@@ -229,11 +227,7 @@ mod tests {
             if node.id.raw() == 0 {
                 continue;
             }
-            assert!(
-                graph.edges.iter().any(|e| e.to == node.id),
-                "node {} has no lineage",
-                node.id
-            );
+            assert!(graph.edges.iter().any(|e| e.to == node.id), "node {} has no lineage", node.id);
         }
     }
 }

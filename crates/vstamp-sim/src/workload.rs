@@ -117,7 +117,12 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
     trace
 }
 
-fn next_operation(rng: &mut StdRng, ids: &[ElementId], width: usize, spec: &WorkloadSpec) -> Operation {
+fn next_operation(
+    rng: &mut StdRng,
+    ids: &[ElementId],
+    width: usize,
+    spec: &WorkloadSpec,
+) -> Operation {
     let mix = spec.mix;
     let pick = |rng: &mut StdRng| ids[rng.gen_range(0..ids.len())];
     let roll = rng.gen_range(0..mix.total().max(1));
@@ -156,8 +161,8 @@ pub fn generate_partition_heal(
     let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
     let mut trace = Trace::new();
     let apply = |config: &mut Configuration<vstamp_core::TreeStampMechanism>,
-                     trace: &mut Trace,
-                     op: Operation| {
+                 trace: &mut Trace,
+                 op: Operation| {
         let applied = config.apply(op).expect("workload operations target live elements");
         trace.push(op);
         applied
@@ -234,8 +239,8 @@ pub fn generate_fixed_population(replicas: usize, rounds: usize, seed: u64) -> T
     let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
     let mut trace = Trace::new();
     let apply = |config: &mut Configuration<vstamp_core::TreeStampMechanism>,
-                     trace: &mut Trace,
-                     op: Operation| {
+                 trace: &mut Trace,
+                 op: Operation| {
         let applied = config.apply(op).expect("live elements");
         trace.push(op);
         applied
@@ -263,14 +268,12 @@ pub fn generate_fixed_population(replicas: usize, rounds: usize, seed: u64) -> T
         // …and synchronizes with a neighbour, like the arrows of Figure 1.
         let reader = (writer + 1) % lines.len();
         if reader != writer {
-            let joined = match apply(
-                &mut config,
-                &mut trace,
-                Operation::Join(lines[writer], lines[reader]),
-            ) {
-                vstamp_core::Applied::Joined(id) => id,
-                _ => unreachable!(),
-            };
+            let joined =
+                match apply(&mut config, &mut trace, Operation::Join(lines[writer], lines[reader]))
+                {
+                    vstamp_core::Applied::Joined(id) => id,
+                    _ => unreachable!(),
+                };
             match apply(&mut config, &mut trace, Operation::Fork(joined)) {
                 vstamp_core::Applied::Forked(a, b) => {
                     lines[writer] = a;

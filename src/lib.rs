@@ -39,7 +39,8 @@ pub use vstamp_sim as sim;
 pub use vstamp_baselines::{DottedVersionVector, ReplicaId, VectorClock, VersionVector};
 pub use vstamp_core::{
     Bit, BitString, CausalHistory, Configuration, ElementId, Mechanism, Name, NameTree, Operation,
-    Reduction, Relation, SetStamp, Stamp, Trace, VersionStamp,
+    PackedName, PackedStamp, PackedStampMechanism, Reduction, Relation, SetStamp, Stamp, Trace,
+    VersionStamp,
 };
 pub use vstamp_itc::ItcStamp;
 pub use vstamp_panasync::{FileCopy, Reconciliation, Workspace};

@@ -30,7 +30,8 @@ fn figure_scenarios_agree_across_every_crate() {
 #[test]
 fn random_workloads_preserve_equivalence_and_invariants_end_to_end() {
     for seed in [1u64, 2, 3] {
-        let trace = generate(&WorkloadSpec::new(400, 10, seed).with_mix(OperationMix::churn_heavy()));
+        let trace =
+            generate(&WorkloadSpec::new(400, 10, seed).with_mix(OperationMix::churn_heavy()));
         // equivalence with the causal oracle through the facade
         assert!(check_against_oracle(TreeStampMechanism::reducing(), &trace).is_exact());
         assert!(check_against_oracle(ItcMechanism::new(), &trace).is_exact());
@@ -44,9 +45,18 @@ fn random_workloads_preserve_equivalence_and_invariants_end_to_end() {
 
 #[test]
 fn partition_heal_workload_runs_through_the_comparison_runner() {
-    let trace = generate_partition_heal(3, 3, 4, 40, 99);
+    // Kept deliberately small: version-stamp identities fragment
+    // exponentially under long partition/heal runs (see ROADMAP), and this
+    // test replays the trace against every mechanism in debug builds.
+    let trace = generate_partition_heal(3, 3, 3, 24, 99);
     let table = compare_mechanisms(MechanismSet::All, &trace);
-    assert_eq!(table.rows().len(), 9);
+    assert_eq!(table.rows().len(), 10);
+    // The packed representation must report exactly the same sizes as the
+    // boxed trie — same names, same wire format.
+    let tree_row = table.row("version-stamps").expect("tree row");
+    let packed_row = table.row("version-stamps-packed").expect("packed row");
+    assert_eq!(tree_row.mean_element_bits, packed_row.mean_element_bits);
+    assert_eq!(tree_row.max_element_bits, packed_row.max_element_bits);
     let stamps = table.row("version-stamps").expect("stamps row");
     let dynamic = table.row("dynamic-version-vectors").expect("dynamic vv row");
     // The qualitative claim of the evaluation: stamp size stays below the

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small wall-clock benchmarking harness exposing the criterion API surface
+//! its benches use: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `sample_size` and `Bencher::iter`.
+//!
+//! Measurement model: each benchmark is calibrated to batches of roughly
+//! [`BATCH_TARGET_NANOS`], then `sample_size` batches are timed and the
+//! **median** ns/iteration is reported on stdout as
+//!
+//! ```text
+//! bench: <id> ... <median> ns/iter (p10 <lo> .. p90 <hi>, N samples)
+//! ```
+//!
+//! No statistical regression analysis, plotting or saved baselines — just
+//! honest medians, which is what the repository's perf-trajectory tooling
+//! consumes (see the `bench_repr_json` binary in `vstamp-bench`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one timed batch, in nanoseconds.
+pub const BATCH_TARGET_NANOS: u64 = 2_000_000;
+
+/// Number of timed batches per benchmark unless overridden.
+pub const DEFAULT_SAMPLE_SIZE: usize = 15;
+
+/// The benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments: the first non-flag
+    /// argument (as passed by `cargo bench -- <filter>`) restricts which
+    /// benchmark ids run.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            run_and_report(id, DEFAULT_SAMPLE_SIZE, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.enabled(&full) {
+            run_and_report(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Runs a single named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.enabled(&full) {
+            run_and_report(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id that is only a parameter (used when the group names the
+    /// function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures the closure, recording the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.result = Some(measure(self.sample_size, &mut || {
+            black_box(f());
+        }));
+    }
+}
+
+/// The summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 10th-percentile nanoseconds per iteration.
+    pub p10_ns: f64,
+    /// 90th-percentile nanoseconds per iteration.
+    pub p90_ns: f64,
+    /// Number of timed batches.
+    pub samples: usize,
+}
+
+/// Calibrates and times `f`, returning summary statistics. Exposed so
+/// report binaries can collect machine-readable numbers with the same
+/// measurement model as the benches.
+pub fn measure<F: FnMut()>(sample_size: usize, f: &mut F) -> Measurement {
+    // Warm up and calibrate the batch size to ~BATCH_TARGET_NANOS.
+    let mut iters_per_batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            f();
+        }
+        let nanos = start.elapsed().as_nanos().max(1) as u64;
+        if nanos >= BATCH_TARGET_NANOS / 4 || iters_per_batch >= 1 << 40 {
+            let scaled = (iters_per_batch.saturating_mul(BATCH_TARGET_NANOS) / nanos).max(1);
+            iters_per_batch = scaled;
+            break;
+        }
+        iters_per_batch *= 8;
+    }
+
+    let samples = sample_size.max(3);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            f();
+        }
+        let nanos = start.elapsed().as_nanos() as f64;
+        per_iter.push(nanos / iters_per_batch as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let pick = |q: f64| per_iter[((per_iter.len() - 1) as f64 * q).round() as usize];
+    Measurement { median_ns: pick(0.5), p10_ns: pick(0.1), p90_ns: pick(0.9), samples }
+}
+
+fn run_and_report<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { sample_size, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => println!(
+            "bench: {id} ... {:.1} ns/iter (p10 {:.1} .. p90 {:.1}, {} samples)",
+            m.median_ns, m.p10_ns, m.p90_ns, m.samples
+        ),
+        None => println!("bench: {id} ... skipped (no iter call)"),
+    }
+}
+
+/// Declares a function running a list of benchmark functions (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_ordered_percentiles() {
+        let mut x = 0u64;
+        let m = measure(5, &mut || {
+            x = x.wrapping_add(1);
+            black_box(x);
+        });
+        assert!(m.p10_ns <= m.median_ns && m.median_ns <= m.p90_ns);
+        assert!(m.median_ns > 0.0);
+        assert_eq!(m.samples, 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { filter: Some("never-matches".into()) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| b.iter(|| x + 1));
+        group.finish();
+        c.bench_function("skipped/also", |b| b.iter(|| 2 + 2));
+    }
+}

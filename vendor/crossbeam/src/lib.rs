@@ -1,0 +1,66 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` on top of `std::thread::scope` (stable since
+//! Rust 1.63), which covers the only use in this workspace: spawning one
+//! worker per measurement job and joining them all before returning.
+//!
+//! Behavioural note: where real crossbeam captures child panics and returns
+//! them in the `Err` arm, `std::thread::scope` resumes the panic on the
+//! spawning thread, so the `Err` arm here is never constructed. Callers
+//! that `.expect()` the result (as this workspace does) observe identical
+//! behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Result of a scoped computation (mirrors `crossbeam::thread::Result`).
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle that can spawn threads borrowing from the environment.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn nested work, exactly like crossbeam's API.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all_workers() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| x * 2);
+            }
+            for &x in &data {
+                let total = &total;
+                s.spawn(move |_| *total.lock().unwrap() += x);
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(*total.lock().unwrap(), 10);
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync::Mutex` behind `parking_lot`'s poison-free API so the
+//! workspace compiles without network access. Poisoned locks are recovered
+//! transparently (matching `parking_lot`, which has no poisoning).
+
+#![forbid(unsafe_code)]
+
+use std::sync::PoisonError;
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutex with `parking_lot`'s panic-free locking API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex::lock` this never returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || m.lock().push(i));
+            }
+        });
+        let mut v = Arc::try_unwrap(m).unwrap().into_inner();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+}
