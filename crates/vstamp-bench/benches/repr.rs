@@ -179,5 +179,49 @@ fn bench_deep_frontier(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wide_names, bench_deep_chains, bench_deep_frontier);
+/// SWAR fast-path coverage: order tests and domination probes over names
+/// whose tag arrays span hundreds of `u64` words, where the
+/// 32-tags-per-step block loops of `leq`/`subtree_end` carry the walk.
+/// Tracked so the u64 SWAR rewrite of those loops can be held to "no
+/// regression" against the byte-table versions across runs.
+fn bench_swar_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed-swar");
+    group.sample_size(11);
+    for strings in [1024usize, 4096] {
+        let a = wide_name(strings, 64, 0x2545_F491_4F6C_DD1D);
+        let b = wide_name(strings, 64, 0x9E37_79B9_7F4A_7C15);
+        let pa = PackedName::from_name(&a);
+        let joined = pa.join(&PackedName::from_name(&b));
+        // Full-length walk: every step is a lockstep or subtree-skip
+        // transition, the regime the u64 blocks accelerate.
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq-full-walk", strings),
+            &(pa.clone(), joined.clone()),
+            |bench, (a, j)| bench.iter(|| a.leq(j)),
+        );
+        // Deep membership/domination probes chain subtree_end skips.
+        let probes: Vec<_> = a.iter().take(32).cloned().collect();
+        group.bench_with_input(
+            BenchmarkId::new("packed-dominates", strings),
+            &(joined.clone(), probes.clone()),
+            |bench, (j, probes)| {
+                bench.iter(|| probes.iter().filter(|s| j.dominates_string(s)).count())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed-contains", strings),
+            &(joined, probes),
+            |bench, (j, probes)| bench.iter(|| probes.iter().filter(|s| j.contains(s)).count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wide_names,
+    bench_deep_chains,
+    bench_deep_frontier,
+    bench_swar_paths
+);
 criterion_main!(benches);

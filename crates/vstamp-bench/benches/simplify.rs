@@ -3,7 +3,7 @@
 //! representation, as the number of collapsible sibling pairs grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vstamp_core::{simplify, Name, NameTree, Reduction, SetStamp, VersionStamp};
+use vstamp_core::{simplify, Name, Reduction, SetStamp, VersionStamp};
 
 /// A stamp whose identity holds `leaves` sibling strings that all collapse
 /// back to {ε} (a complete fork tree joined without reduction).
@@ -25,12 +25,12 @@ fn fully_collapsible(leaves: usize) -> VersionStamp {
 fn bench_reduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplification");
     for leaves in [4usize, 16, 64, 256] {
-        let tree_stamp = fully_collapsible(leaves);
-        let set_stamp: SetStamp = tree_stamp.clone().into();
+        let packed_stamp = fully_collapsible(leaves);
+        let set_stamp: SetStamp = packed_stamp.clone().into();
 
         group.bench_with_input(
-            BenchmarkId::new("tree-representation", leaves),
-            &tree_stamp,
+            BenchmarkId::new("packed-representation", leaves),
+            &packed_stamp,
             |b, s| b.iter(|| s.reduce()),
         );
         group.bench_with_input(
@@ -48,11 +48,11 @@ fn bench_reduce(c: &mut Criterion) {
         );
 
         // the already-reduced case: checking there is nothing to do
-        let reduced = tree_stamp.reduce();
+        let reduced = packed_stamp.reduce();
         group.bench_with_input(BenchmarkId::new("already-reduced", leaves), &reduced, |b, s| {
             b.iter(|| s.reduce())
         });
-        assert!(reduced.id_name().is_epsilon() || reduced.id_name() != &NameTree::Empty);
+        assert!(reduced.id_name().is_epsilon() || !reduced.id_name().is_empty());
     }
     group.finish();
 }

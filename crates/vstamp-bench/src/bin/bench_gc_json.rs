@@ -1,0 +1,119 @@
+//! Machine-readable identity-fragmentation report: replays the ROADMAP
+//! partition/heal fragmentation-wall trace (and an 800-op churn trace)
+//! under every reduction policy, recording the per-step identity-string
+//! curve, and writes `BENCH_gc.json` with the before/after curves and the
+//! eager-vs-GC peak reduction factor.
+//!
+//! Run with `cargo run --release -p vstamp-bench --bin bench_gc_json`.
+//! Set `VSTAMP_BENCH_SMOKE=1` to shrink the grids to a seconds-scale smoke
+//! test (used by CI so this binary cannot silently rot).
+
+use std::fmt::Write as _;
+
+use vstamp_bench::{
+    header, non_reducing_ops, roadmap_partition_heal_trace, seed_from_args, smoke_mode, truncated,
+};
+use vstamp_core::{Trace, VersionStampMechanism};
+use vstamp_sim::metrics::{measure_fragmentation, FragmentationReport};
+use vstamp_sim::workload::{generate, generate_partition_heal, OperationMix, WorkloadSpec};
+
+fn report_line(report: &FragmentationReport) {
+    println!(
+        "  {:<28} peak_id_strings={:<8} final={:<8} peak_element={:<8}",
+        report.mechanism,
+        report.peak_frontier_id_strings,
+        report.final_frontier_id_strings,
+        report.peak_element_id_strings
+    );
+}
+
+fn curve_json(report: &FragmentationReport, trace_name: &str) -> String {
+    let mut out = String::new();
+    write!(
+        out,
+        "    {{\"trace\": \"{trace_name}\", \"mechanism\": \"{}\", \"operations\": {}, \"peak_frontier_id_strings\": {}, \"final_frontier_id_strings\": {}, \"peak_element_id_strings\": {}, \"stride\": {}, \"curve\": [",
+        report.mechanism,
+        report.operations,
+        report.peak_frontier_id_strings,
+        report.final_frontier_id_strings,
+        report.peak_element_id_strings,
+        report.stride
+    )
+    .expect("writing to a String cannot fail");
+    for (i, point) in report.curve.iter().enumerate() {
+        let comma = if i + 1 == report.curve.len() { "" } else { ", " };
+        write!(out, "{point}{comma}").expect("writing to a String cannot fail");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Measures every policy over the trace: eager, deferred, frontier-GC, and
+/// (on a capped prefix) non-reducing.
+fn measure_policies(trace: &Trace, stride: usize) -> Vec<FragmentationReport> {
+    let mut reports = Vec::new();
+    reports.push(measure_fragmentation(VersionStampMechanism::reducing(), trace, stride));
+    reports.push(measure_fragmentation(VersionStampMechanism::deferred(16), trace, stride));
+    reports.push(measure_fragmentation(VersionStampMechanism::frontier_gc(), trace, stride));
+    let capped = truncated(trace, non_reducing_ops());
+    reports.push(measure_fragmentation(VersionStampMechanism::non_reducing(), &capped, stride));
+    for report in &reports {
+        report_line(report);
+    }
+    reports
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let smoke = smoke_mode();
+    println!("seed = {seed}{}", if smoke { " (smoke grid)" } else { "" });
+
+    header("identity GC — ROADMAP partition/heal fragmentation wall");
+    let heal_trace = if smoke {
+        generate_partition_heal(2, 3, 3, 12, seed)
+    } else {
+        roadmap_partition_heal_trace(seed)
+    };
+    println!("partition/heal trace: {} operations", heal_trace.len());
+    let heal_reports = measure_policies(&heal_trace, 1);
+
+    header("identity GC — churn-heavy workload");
+    let churn_spec = if smoke {
+        WorkloadSpec::new(80, 6, seed).with_mix(OperationMix::churn_heavy())
+    } else {
+        WorkloadSpec::new(800, 8, seed).with_mix(OperationMix::churn_heavy())
+    };
+    let churn_trace = generate(&churn_spec);
+    let churn_reports = measure_policies(&churn_trace, 4);
+
+    let eager_peak = heal_reports[0].peak_frontier_id_strings.max(1);
+    let gc_peak = heal_reports[2].peak_frontier_id_strings.max(1);
+    let reduction = eager_peak as f64 / gc_peak as f64;
+    println!(
+        "\npeak identity strings on the partition/heal trace: eager {eager_peak} vs frontier-gc {gc_peak}  ({reduction:.1}x reduction)"
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"identity-gc\",\n");
+    writeln!(json, "  \"seed\": {seed},").expect("writing to a String cannot fail");
+    writeln!(json, "  \"smoke\": {smoke},").expect("writing to a String cannot fail");
+    writeln!(
+        json,
+        "  \"partition_heal_operations\": {},\n  \"churn_operations\": {},",
+        heal_trace.len(),
+        churn_trace.len()
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(json, "  \"peak_reduction_eager_over_gc\": {reduction:.2},")
+        .expect("writing to a String cannot fail");
+    json.push_str("  \"results\": [\n");
+    let all: Vec<String> = heal_reports
+        .iter()
+        .map(|r| curve_json(r, "partition-heal"))
+        .chain(churn_reports.iter().map(|r| curve_json(r, "churn-heavy")))
+        .collect();
+    json.push_str(&all.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write("BENCH_gc.json", &json).expect("write BENCH_gc.json");
+    println!("wrote BENCH_gc.json");
+}

@@ -79,13 +79,19 @@ fn bench_triple(rows: &mut Vec<Row>, scenario: &'static str, param: usize, a: &N
 
 fn main() {
     let mut rows = Vec::new();
+    // VSTAMP_BENCH_SMOKE=1 (the CI smoke job) keeps one small cell per
+    // scenario so the binary finishes in seconds while still exercising
+    // every code path.
+    let smoke = vstamp_bench::smoke_mode();
 
-    for strings in [16usize, 64, 256] {
+    let wide_grid: &[usize] = if smoke { &[16] } else { &[16, 64, 256] };
+    for &strings in wide_grid {
         let a = wide_name(strings, 14, 0x2545_F491_4F6C_DD1D);
         let b = wide_name(strings, 14, 0x9E37_79B9_7F4A_7C15);
         bench_triple(&mut rows, "wide", strings, &a, &b);
     }
-    for depth in [64usize, 128, 256] {
+    let chain_grid: &[usize] = if smoke { &[64] } else { &[64, 128, 256] };
+    for &depth in chain_grid {
         let (a, b) = deep_chain_pair(depth);
         bench_triple(&mut rows, "deep-fork-chain", depth, &a, &b);
     }
@@ -93,7 +99,8 @@ fn main() {
     // identity sizes long partition/heal workloads actually reach. This is
     // the regime where the 2-bit tag array stays cache-resident while the
     // boxed trie does not.
-    for strings in [1024usize, 4096] {
+    let frontier_grid: &[usize] = if smoke { &[256] } else { &[1024, 4096] };
+    for &strings in frontier_grid {
         let a = wide_name(strings, 64, 0x2545_F491_4F6C_DD1D);
         let b = wide_name(strings, 64, 0x9E37_79B9_7F4A_7C15);
         bench_triple(&mut rows, "deep-frontier", strings, &a, &b);

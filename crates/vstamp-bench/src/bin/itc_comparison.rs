@@ -3,7 +3,7 @@
 //! space.
 
 use vstamp_bench::{header, seed_from_args};
-use vstamp_core::TreeStampMechanism;
+use vstamp_core::VersionStampMechanism;
 use vstamp_itc::ItcMechanism;
 use vstamp_sim::metrics::measure_space;
 use vstamp_sim::oracle::check_against_oracle;
@@ -14,8 +14,14 @@ fn main() {
     println!("seed = {seed}");
     header("E10 — version stamps vs interval tree clocks");
     println!(
-        "{:<16} {:>12} {:>22} {:>22} {:>12} {:>12}",
-        "workload", "replicas", "stamps mean bits", "itc mean bits", "stamps ok", "itc ok"
+        "{:<16} {:>12} {:>18} {:>14} {:>14} {:>10} {:>8}",
+        "workload",
+        "replicas",
+        "stamps mean bits",
+        "gc mean bits",
+        "itc mean bits",
+        "stamps ok",
+        "itc ok"
     );
     let mixes = [
         ("balanced", OperationMix::balanced()),
@@ -24,21 +30,23 @@ fn main() {
         ("sync-heavy", OperationMix::sync_heavy()),
     ];
     for (name, mix) in mixes {
-        // Churn/sync mixes fragment stamp identities superlinearly, so
-        // those sweeps stay shorter (see ROADMAP "Open items").
+        // Paper-scale sweeps, restored: 1000 operations for every mix.
+        // (The churn/sync rows had been cut to 300 operations while eager
+        // reduction was the only policy — identity fragmentation made the
+        // longer replays infeasible; the frontier-GC row keeps them cheap
+        // and the eager row rides along on the same traces.)
         for max_replicas in [4usize, 8, 16] {
-            let ops = match name {
-                "churn-heavy" | "sync-heavy" => 300,
-                _ => 1_000,
-            };
+            let ops = 1_000;
             let trace = generate(&WorkloadSpec::new(ops, max_replicas, seed).with_mix(mix));
-            let stamps_space = measure_space(TreeStampMechanism::reducing(), &trace);
+            let stamps_space = measure_space(VersionStampMechanism::reducing(), &trace);
+            let gc_space = measure_space(VersionStampMechanism::frontier_gc(), &trace);
             let itc_space = measure_space(ItcMechanism::new(), &trace);
-            let stamps_ok = check_against_oracle(TreeStampMechanism::reducing(), &trace).is_exact();
+            let stamps_ok =
+                check_against_oracle(VersionStampMechanism::reducing(), &trace).is_exact();
             let itc_ok = check_against_oracle(ItcMechanism::new(), &trace).is_exact();
             println!(
-                "{name:<16} {max_replicas:>12} {:>22.1} {:>22.1} {stamps_ok:>12} {itc_ok:>12}",
-                stamps_space.mean_element_bits, itc_space.mean_element_bits
+                "{name:<16} {max_replicas:>12} {:>18.1} {:>14.1} {:>14.1} {stamps_ok:>10} {itc_ok:>8}",
+                stamps_space.mean_element_bits, gc_space.mean_element_bits, itc_space.mean_element_bits
             );
         }
     }

@@ -51,10 +51,46 @@ pub fn header(title: &str) {
 }
 
 /// Longest trace the non-reducing mechanism is given in benches and
-/// reports: without the Section-6 rule its identities gain one string per
-/// fork *forever*, so sync-heavy traces grow them exponentially (a 120-op
-/// trace already reaches ~10⁷ strings — see ROADMAP "Open items").
+/// reports by default: without the Section-6 rule its identities gain one
+/// string per fork *forever*, so sync-heavy traces grow them exponentially
+/// (a 120-op trace already reaches ~10⁷ strings — see ROADMAP "Open
+/// items"). Override per run with the `VSTAMP_NON_REDUCING_OPS` environment
+/// variable (see [`non_reducing_ops`]).
 pub const NON_REDUCING_OPS: usize = 60;
+
+/// The non-reducing trace cap in force: [`NON_REDUCING_OPS`] unless the
+/// `VSTAMP_NON_REDUCING_OPS` environment variable overrides it.
+///
+/// CI stays fast on the default; local runs can push the exponential
+/// mechanism further, e.g.
+/// `VSTAMP_NON_REDUCING_OPS=90 cargo run --release -p vstamp-bench --bin
+/// simplification`.
+#[must_use]
+pub fn non_reducing_ops() -> usize {
+    std::env::var("VSTAMP_NON_REDUCING_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(NON_REDUCING_OPS)
+}
+
+/// `true` when `VSTAMP_BENCH_SMOKE` is set (non-empty, not `0`): report
+/// binaries shrink their grids to seconds-scale so CI can smoke-test them
+/// on every push without paying for the paper-scale sweeps.
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var("VSTAMP_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The ~230-operation partition/heal fragmentation-wall trace from the
+/// ROADMAP: five islands of four replicas, three epochs of island-local
+/// sync with heals in between (233 operations at the default seed). Under
+/// eager reduction its identities fragment into the 10⁴–10⁵-string range;
+/// the `bench_gc_json` report records the before/after curve and the
+/// eager-vs-GC peak ratio.
+#[must_use]
+pub fn roadmap_partition_heal_trace(seed: u64) -> Trace {
+    vstamp_sim::workload::generate_partition_heal(5, 4, 3, 50, seed)
+}
 
 /// The first `ops` operations of a trace (used to cap what the
 /// non-reducing mechanism replays).
@@ -137,6 +173,36 @@ mod tests {
     #[test]
     fn default_seed_is_the_paper_date() {
         assert_eq!(DEFAULT_SEED, 20_020_310);
+    }
+
+    #[test]
+    fn non_reducing_cap_env_override() {
+        // No other test touches these variables, so mutating the process
+        // environment here is race-free. Clear them first: the suite must
+        // pass even when the invoking shell exports the documented
+        // overrides.
+        std::env::remove_var("VSTAMP_NON_REDUCING_OPS");
+        assert_eq!(non_reducing_ops(), NON_REDUCING_OPS);
+        std::env::set_var("VSTAMP_NON_REDUCING_OPS", "123");
+        assert_eq!(non_reducing_ops(), 123);
+        std::env::set_var("VSTAMP_NON_REDUCING_OPS", "not-a-number");
+        assert_eq!(non_reducing_ops(), NON_REDUCING_OPS);
+        std::env::remove_var("VSTAMP_NON_REDUCING_OPS");
+
+        std::env::remove_var("VSTAMP_BENCH_SMOKE");
+        assert!(!smoke_mode());
+        std::env::set_var("VSTAMP_BENCH_SMOKE", "1");
+        assert!(smoke_mode());
+        std::env::set_var("VSTAMP_BENCH_SMOKE", "0");
+        assert!(!smoke_mode());
+        std::env::remove_var("VSTAMP_BENCH_SMOKE");
+    }
+
+    #[test]
+    fn roadmap_trace_is_deterministic_and_partition_heal_sized() {
+        let trace = roadmap_partition_heal_trace(DEFAULT_SEED);
+        assert_eq!(trace.len(), 233, "the ROADMAP fragmentation-wall trace is ~230 operations");
+        assert_eq!(trace, roadmap_partition_heal_trace(DEFAULT_SEED));
     }
 
     #[test]

@@ -413,7 +413,7 @@ mod tests {
         assert!(config.contains(ElementId::new(0)));
         assert!(config.get(ElementId::new(0)).is_some());
         assert_eq!(config.iter().count(), 1);
-        assert_eq!(config.mechanism().mechanism_name(), "version-stamps");
+        assert_eq!(config.mechanism().mechanism_name(), "version-stamps-tree");
     }
 
     #[test]

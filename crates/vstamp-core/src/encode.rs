@@ -32,7 +32,7 @@ use crate::bitstring::Bit;
 use crate::error::DecodeError;
 use crate::name::Name;
 use crate::packed::PackedName;
-use crate::stamp::{PackedStamp, VersionStamp};
+use crate::stamp::{PackedStamp, TreeStamp, VersionStamp};
 use crate::tree::NameTree;
 
 /// Append-only bit buffer used by the encoder.
@@ -176,6 +176,12 @@ pub fn encoded_tree_bits(tree: &NameTree) -> usize {
 /// Number of bits the encoding of a stamp occupies (update plus id).
 #[must_use]
 pub fn encoded_stamp_bits(stamp: &VersionStamp) -> usize {
+    stamp.encoded_bits()
+}
+
+/// Number of bits the encoding of a tree-backed stamp occupies.
+#[must_use]
+pub fn encoded_tree_stamp_bits(stamp: &TreeStamp) -> usize {
     encoded_tree_bits(stamp.update_name()) + encoded_tree_bits(stamp.id_name())
 }
 
@@ -369,10 +375,7 @@ pub fn decode_name(bytes: &[u8]) -> Result<Name, DecodeError> {
 /// Encodes a stamp (update then id) into packed bytes.
 #[must_use]
 pub fn encode_stamp(stamp: &VersionStamp) -> Vec<u8> {
-    let mut writer = BitWriter::new();
-    write_tree(stamp.update_name(), &mut writer);
-    write_tree(stamp.id_name(), &mut writer);
-    writer.into_bytes()
+    encode_packed_stamp(stamp)
 }
 
 /// Decodes a stamp from packed bytes produced by [`encode_stamp`].
@@ -383,11 +386,33 @@ pub fn encode_stamp(stamp: &VersionStamp) -> Vec<u8> {
 /// when the decoded pair violates the stamp well-formedness conditions
 /// (empty id or Invariant I1).
 pub fn decode_stamp(bytes: &[u8]) -> Result<VersionStamp, DecodeError> {
+    decode_packed_stamp(bytes)
+}
+
+/// Encodes a tree-backed stamp (update then id) into packed bytes; the
+/// wire format is identical to [`encode_stamp`] on the equivalent stamp.
+#[must_use]
+pub fn encode_tree_stamp(stamp: &TreeStamp) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    write_tree(stamp.update_name(), &mut writer);
+    write_tree(stamp.id_name(), &mut writer);
+    writer.into_bytes()
+}
+
+/// Decodes a tree-backed stamp from packed bytes produced by
+/// [`encode_tree_stamp`] (or [`encode_stamp`]).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, malformed or trailing input, or
+/// when the decoded pair violates the stamp well-formedness conditions
+/// (empty id or Invariant I1).
+pub fn decode_tree_stamp(bytes: &[u8]) -> Result<TreeStamp, DecodeError> {
     let mut reader = BitReader::new(bytes);
     let update = read_tree(&mut reader)?;
     let id = read_tree(&mut reader)?;
     reader.finish()?;
-    VersionStamp::from_parts(update, id)
+    TreeStamp::from_parts(update, id)
         .map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
 }
 

@@ -274,13 +274,14 @@ where
     InvariantReport { violations }
 }
 
-/// Audits the frontier of a stamp [`Configuration`].
+/// Audits the frontier of a stamp [`Configuration`], under any reduction
+/// policy.
 #[must_use]
-pub fn audit_configuration<N: NameLike>(
-    config: &Configuration<StampMechanism<N>>,
+pub fn audit_configuration<N: NameLike, P>(
+    config: &Configuration<StampMechanism<N, P>>,
 ) -> InvariantReport
 where
-    StampMechanism<N>: Mechanism<Element = Stamp<N>>,
+    StampMechanism<N, P>: Mechanism<Element = Stamp<N>>,
 {
     audit_frontier(config.iter())
 }

@@ -45,6 +45,8 @@
 //! | [`packed`] | §4/§6 | flat preorder tag-array representation (hot paths) |
 //! | [`stamp`] | §4 (Def. 4.3), §6 | version stamps and their operations |
 //! | [`simplify`] | §6 | the rewriting rule, normal forms, confluence helpers |
+//! | [`policy`] | §4 vs §6 | the reduction-policy seam (eager / none / deferred / GC) |
+//! | [`gc`] | beyond §6 | frontier-evidence identity garbage collection |
 //! | [`causal`] | §2 (Def. 2.1) | causal-history reference model (global view) |
 //! | [`mechanism`], [`config`] | §2/§4 | the transition system and the mechanism seam |
 //! | [`invariants`] | §4 (I1–I3) | executable invariants and the frontier auditor |
@@ -75,11 +77,13 @@ pub mod causal;
 pub mod config;
 pub mod encode;
 pub mod error;
+pub mod gc;
 pub mod invariants;
 pub mod mechanism;
 pub mod name;
 pub mod name_like;
 pub mod packed;
+pub mod policy;
 pub mod relation;
 pub mod simplify;
 pub mod stamp;
@@ -89,15 +93,18 @@ pub use bitstring::{Bit, BitString, ParseBitStringError, PrefixOrdering};
 pub use causal::{CausalHistory, CausalMechanism, EventId};
 pub use config::{Applied, Configuration, ElementId, Operation, Trace};
 pub use error::{ConfigError, DecodeError, StampError};
+pub use gc::{FrontierEvidence, FrontierGc};
 pub use invariants::{audit_configuration, audit_frontier, InvariantReport, Violation};
 pub use mechanism::{
-    Mechanism, PackedStampMechanism, SetStampMechanism, StampMechanism, TreeStampMechanism,
+    GcStampMechanism, Mechanism, PackedStampMechanism, SetStampMechanism, StampMechanism,
+    TreeStampMechanism, VersionStampMechanism,
 };
 pub use name::{Name, ParseNameError};
 pub use name_like::NameLike;
 pub use packed::PackedName;
+pub use policy::{Deferred, Eager, NoReduce, ReductionPolicy};
 pub use relation::Relation;
-pub use stamp::{PackedStamp, Reduction, SetStamp, Stamp, VersionStamp};
+pub use stamp::{PackedStamp, Reduction, SetStamp, Stamp, TreeStamp, VersionStamp};
 pub use tree::NameTree;
 
 #[cfg(test)]
@@ -113,7 +120,10 @@ mod tests {
         assert_send_sync::<PackedName>();
         assert_send_sync::<VersionStamp>();
         assert_send_sync::<SetStamp>();
+        assert_send_sync::<TreeStamp>();
         assert_send_sync::<PackedStamp>();
+        assert_send_sync::<VersionStampMechanism>();
+        assert_send_sync::<GcStampMechanism>();
         assert_send_sync::<CausalHistory>();
         assert_send_sync::<Relation>();
         assert_send_sync::<Trace>();

@@ -6,12 +6,18 @@
 //! Interval Tree Clock extension — over identical fork/join/update traces,
 //! every mechanism implements [`Mechanism`]. The replicated-system simulator
 //! and every experiment in the benchmark harness are generic over it.
+//!
+//! The version-stamp mechanism itself, [`StampMechanism`], is generic over
+//! two seams: the name representation ([`NameLike`]) and the stamp lifecycle
+//! ([`ReductionPolicy`]) — every (representation × policy) cell of the
+//! ablation grid is one concrete instantiation.
 
 use core::fmt;
 
 use crate::name::Name;
 use crate::name_like::NameLike;
 use crate::packed::PackedName;
+use crate::policy::{Deferred, Eager, NoReduce, ReductionPolicy};
 use crate::relation::Relation;
 use crate::stamp::{Reduction, Stamp};
 use crate::tree::NameTree;
@@ -20,9 +26,9 @@ use crate::tree::NameTree;
 ///
 /// Implementations may keep private global state (`&mut self`) — the
 /// causal-history oracle allocates globally unique event identifiers, the
-/// version-vector baselines allocate replica identifiers. Version stamps
-/// need none, which is the paper's point; their implementation never touches
-/// `self`.
+/// version-vector baselines allocate replica identifiers, the frontier-GC
+/// policy mirrors the live frontier. The plain version-stamp policies need
+/// none, which is the paper's point.
 pub trait Mechanism {
     /// The per-element payload (a stamp, a version vector, a causal
     /// history…).
@@ -62,85 +68,154 @@ pub trait Mechanism {
 }
 
 /// The version-stamp mechanism of the paper, generic over the name
-/// representation and parameterized by the [`Reduction`] policy.
+/// representation `N` and the lifecycle [`ReductionPolicy`] `P`.
 ///
 /// # Examples
 ///
 /// ```
-/// use vstamp_core::{Mechanism, Relation, TreeStampMechanism};
+/// use vstamp_core::{Mechanism, Relation, VersionStampMechanism};
 ///
-/// let mut mech = TreeStampMechanism::reducing();
+/// let mut mech = VersionStampMechanism::reducing();
 /// let root = mech.initial();
 /// let (a, b) = mech.fork(&root);
 /// let a = mech.update(&a);
 /// assert_eq!(mech.relation(&a, &b), Relation::Dominates);
 /// assert_eq!(mech.mechanism_name(), "version-stamps");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StampMechanism<N = NameTree> {
-    reduction: Reduction,
+///
+/// Selecting a policy:
+///
+/// ```
+/// use vstamp_core::gc::FrontierGc;
+/// use vstamp_core::{Mechanism, PackedName, StampMechanism};
+///
+/// let mut gc = StampMechanism::<PackedName, FrontierGc<PackedName>>::new();
+/// assert_eq!(gc.mechanism_name(), "version-stamps-gc");
+/// let root = gc.initial();
+/// let (a, b) = gc.fork(&root);
+/// assert!(gc.join(&a, &b).is_seed_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StampMechanism<N = PackedName, P = Eager> {
+    policy: P,
     _marker: core::marker::PhantomData<N>,
 }
 
-impl<N: NameLike> StampMechanism<N> {
+impl<N: NameLike, P: ReductionPolicy<N>> StampMechanism<N, P> {
+    /// A mechanism with the policy's default configuration.
+    #[must_use]
+    pub fn new() -> Self
+    where
+        P: Default,
+    {
+        StampMechanism { policy: P::default(), _marker: core::marker::PhantomData }
+    }
+
+    /// A mechanism with an explicit policy value.
+    #[must_use]
+    pub fn with_policy(policy: P) -> Self {
+        StampMechanism { policy, _marker: core::marker::PhantomData }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+impl<N: NameLike> StampMechanism<N, Eager> {
     /// A mechanism that simplifies after every join (Section 6) — the
     /// practical configuration.
     #[must_use]
     pub fn reducing() -> Self {
-        StampMechanism { reduction: Reduction::Reducing, _marker: core::marker::PhantomData }
+        StampMechanism::with_policy(Eager)
     }
 
     /// The non-reducing model of Section 4, used as the proof baseline and
     /// in the E9 ablation.
+    ///
+    /// Note the policy is part of the type: this constructor is callable
+    /// through any `StampMechanism<N, _>` alias but returns the
+    /// [`NoReduce`]-typed mechanism.
     #[must_use]
-    pub fn non_reducing() -> Self {
-        StampMechanism { reduction: Reduction::NonReducing, _marker: core::marker::PhantomData }
+    pub fn non_reducing() -> StampMechanism<N, NoReduce> {
+        StampMechanism::with_policy(NoReduce)
     }
 
-    /// A mechanism with an explicit policy.
+    /// Batched reduction with the given id-string threshold (see
+    /// [`Deferred`]).
     #[must_use]
-    pub fn with_reduction(reduction: Reduction) -> Self {
-        StampMechanism { reduction, _marker: core::marker::PhantomData }
+    pub fn deferred(max_id_strings: usize) -> StampMechanism<N, Deferred> {
+        StampMechanism::with_policy(Deferred::new(max_id_strings))
     }
 
-    /// The reduction policy in force.
+    /// Frontier-evidence identity GC (see [`crate::gc`]).
     #[must_use]
-    pub fn reduction(&self) -> Reduction {
-        self.reduction
+    pub fn frontier_gc() -> StampMechanism<N, crate::gc::FrontierGc<N>> {
+        StampMechanism::with_policy(crate::gc::FrontierGc::new())
+    }
+
+    /// A mechanism selecting reducing/non-reducing from a runtime
+    /// [`Reduction`] flag (one mechanism type for both).
+    #[must_use]
+    pub fn with_reduction(reduction: Reduction) -> StampMechanism<N, Reduction> {
+        StampMechanism::with_policy(reduction)
     }
 }
 
-impl<N: NameLike> Mechanism for StampMechanism<N> {
+impl<N: NameLike> StampMechanism<N, Reduction> {
+    /// The reduction flag in force.
+    #[must_use]
+    pub fn reduction(&self) -> Reduction {
+        self.policy
+    }
+}
+
+impl<N: NameLike, P: ReductionPolicy<N>> Mechanism for StampMechanism<N, P> {
     type Element = Stamp<N>;
 
     fn mechanism_name(&self) -> &'static str {
-        // The boxed trie keeps the historical unsuffixed names; the other
-        // representations are labelled so ablation tables stay unambiguous.
-        match (N::REPR_NAME, self.reduction) {
-            ("tree", Reduction::Reducing) => "version-stamps",
-            ("tree", Reduction::NonReducing) => "version-stamps-nonreducing",
-            ("packed", Reduction::Reducing) => "version-stamps-packed",
-            ("packed", Reduction::NonReducing) => "version-stamps-packed-nonreducing",
-            ("set", Reduction::Reducing) => "version-stamps-set",
-            ("set", Reduction::NonReducing) => "version-stamps-set-nonreducing",
-            _ => unreachable!("NameLike is sealed over the three shipped representations"),
+        // The default representation (packed) keeps the historical
+        // unsuffixed names; the others are labelled so ablation tables stay
+        // unambiguous.
+        match (N::REPR_NAME, self.policy.policy_name()) {
+            ("packed", "eager") => "version-stamps",
+            ("packed", "none") => "version-stamps-nonreducing",
+            ("packed", "deferred") => "version-stamps-deferred",
+            ("packed", "frontier-gc") => "version-stamps-gc",
+            ("tree", "eager") => "version-stamps-tree",
+            ("tree", "none") => "version-stamps-tree-nonreducing",
+            ("tree", "deferred") => "version-stamps-tree-deferred",
+            ("tree", "frontier-gc") => "version-stamps-tree-gc",
+            ("set", "eager") => "version-stamps-set",
+            ("set", "none") => "version-stamps-set-nonreducing",
+            ("set", "deferred") => "version-stamps-set-deferred",
+            ("set", "frontier-gc") => "version-stamps-set-gc",
+            _ => unreachable!("NameLike and the shipped policies are a closed set"),
         }
     }
 
     fn initial(&mut self) -> Self::Element {
-        Stamp::seed()
+        let seed = Stamp::seed();
+        self.policy.on_initial(&seed);
+        seed
     }
 
     fn update(&mut self, element: &Self::Element) -> Self::Element {
-        element.update()
+        let updated = element.update();
+        self.policy.on_update(element, &updated);
+        updated
     }
 
     fn fork(&mut self, element: &Self::Element) -> (Self::Element, Self::Element) {
-        element.fork()
+        let (left, right) = element.fork();
+        self.policy.on_fork(element, &left, &right);
+        (left, right)
     }
 
     fn join(&mut self, left: &Self::Element, right: &Self::Element) -> Self::Element {
-        left.join_with(right, self.reduction)
+        self.policy.join(left, right)
     }
 
     fn relation(&self, left: &Self::Element, right: &Self::Element) -> Relation {
@@ -155,17 +230,25 @@ impl<N: NameLike> Mechanism for StampMechanism<N> {
     }
 }
 
-/// Version-stamp mechanism over the boxed trie representation (the
-/// historical default).
-pub type TreeStampMechanism = StampMechanism<NameTree>;
+/// Version-stamp mechanism over the flat tag-array representation with
+/// eager reduction — the workspace default.
+pub type VersionStampMechanism = StampMechanism<PackedName, Eager>;
+
+/// Version-stamp mechanism over the boxed trie representation; kept as a
+/// comparison point for the `repr` ablation (see [`crate::tree`] for the
+/// deprecation note).
+pub type TreeStampMechanism = StampMechanism<NameTree, Eager>;
 
 /// Version-stamp mechanism over the literal antichain representation; used
 /// by the `repr` ablation.
-pub type SetStampMechanism = StampMechanism<Name>;
+pub type SetStampMechanism = StampMechanism<Name, Eager>;
 
-/// Version-stamp mechanism over the flat tag-array representation — the
-/// fastest configuration (see the `repr` bench ablation).
-pub type PackedStampMechanism = StampMechanism<PackedName>;
+/// Version-stamp mechanism over the flat tag-array representation (same as
+/// [`VersionStampMechanism`]; kept for ablation-table symmetry).
+pub type PackedStampMechanism = StampMechanism<PackedName, Eager>;
+
+/// The default mechanism with the frontier-evidence GC policy.
+pub type GcStampMechanism = StampMechanism<PackedName, crate::gc::FrontierGc<PackedName>>;
 
 #[cfg(test)]
 mod tests {
@@ -174,22 +257,46 @@ mod tests {
     #[test]
     fn stamp_mechanism_constructors() {
         let reducing: TreeStampMechanism = StampMechanism::reducing();
-        assert_eq!(reducing.reduction(), Reduction::Reducing);
-        assert_eq!(reducing.mechanism_name(), "version-stamps");
+        assert_eq!(reducing.mechanism_name(), "version-stamps-tree");
+        assert_eq!(ReductionPolicy::<NameTree>::policy_name(reducing.policy()), "eager");
 
-        let non_reducing: TreeStampMechanism = StampMechanism::non_reducing();
-        assert_eq!(non_reducing.reduction(), Reduction::NonReducing);
-        assert_eq!(non_reducing.mechanism_name(), "version-stamps-nonreducing");
+        let non_reducing = TreeStampMechanism::non_reducing();
+        assert_eq!(non_reducing.mechanism_name(), "version-stamps-tree-nonreducing");
 
-        let explicit: SetStampMechanism = StampMechanism::with_reduction(Reduction::Reducing);
+        let packed: VersionStampMechanism = StampMechanism::reducing();
+        assert_eq!(packed.mechanism_name(), "version-stamps");
+        assert_eq!(
+            VersionStampMechanism::non_reducing().mechanism_name(),
+            "version-stamps-nonreducing"
+        );
+        assert_eq!(VersionStampMechanism::deferred(8).mechanism_name(), "version-stamps-deferred");
+        assert_eq!(VersionStampMechanism::frontier_gc().mechanism_name(), "version-stamps-gc");
+        assert_eq!(SetStampMechanism::reducing().mechanism_name(), "version-stamps-set");
+        assert_eq!(
+            SetStampMechanism::non_reducing().mechanism_name(),
+            "version-stamps-set-nonreducing"
+        );
+        assert_eq!(
+            TreeStampMechanism::deferred(4).mechanism_name(),
+            "version-stamps-tree-deferred"
+        );
+        assert_eq!(SetStampMechanism::frontier_gc().mechanism_name(), "version-stamps-set-gc");
+
+        let explicit = TreeStampMechanism::with_reduction(Reduction::Reducing);
         assert_eq!(explicit.reduction(), Reduction::Reducing);
-        let default: TreeStampMechanism = StampMechanism::default();
-        assert_eq!(default.reduction(), Reduction::Reducing);
+        assert_eq!(explicit.mechanism_name(), "version-stamps-tree");
+        let flag = VersionStampMechanism::with_reduction(Reduction::NonReducing);
+        assert_eq!(flag.reduction(), Reduction::NonReducing);
+        assert_eq!(flag.mechanism_name(), "version-stamps-nonreducing");
+
+        let default: VersionStampMechanism = StampMechanism::default();
+        assert_eq!(default, StampMechanism::new());
+        assert_eq!(default.mechanism_name(), "version-stamps");
     }
 
     #[test]
     fn stamp_mechanism_behaves_like_direct_stamp_calls() {
-        let mut mech: TreeStampMechanism = StampMechanism::reducing();
+        let mut mech: VersionStampMechanism = StampMechanism::reducing();
         let root = mech.initial();
         assert_eq!(root, Stamp::seed());
 
@@ -207,7 +314,7 @@ mod tests {
 
     #[test]
     fn non_reducing_mechanism_skips_simplification() {
-        let mut mech: TreeStampMechanism = StampMechanism::non_reducing();
+        let mut mech = VersionStampMechanism::non_reducing();
         let root = mech.initial();
         let (a, b) = mech.fork(&root);
         let joined = mech.join(&a, &b);
@@ -216,8 +323,42 @@ mod tests {
     }
 
     #[test]
+    fn deferred_mechanism_reduces_past_threshold() {
+        let mut lazy = VersionStampMechanism::deferred(2);
+        let root = lazy.initial();
+        let (a, rest) = lazy.fork(&root);
+        let (a0, a1) = lazy.fork(&a);
+        // id strings after joining the two sub-forks: {00, 01} — exactly at
+        // the threshold, the sibling pair stays unreduced.
+        let ab = lazy.join(&a0, &a1);
+        assert!(!ab.is_reduced());
+        // joining in the sibling crosses the threshold: one batched pass
+        // collapses everything back to the seed.
+        let all = lazy.join(&ab, &rest);
+        assert!(all.is_seed_identity());
+    }
+
+    #[test]
+    fn gc_mechanism_replays_like_eager_on_relations() {
+        let mut gc = VersionStampMechanism::frontier_gc();
+        let mut eager: VersionStampMechanism = StampMechanism::reducing();
+        let g0 = gc.initial();
+        let e0 = eager.initial();
+        let (ga, gb) = gc.fork(&g0);
+        let (ea, eb) = eager.fork(&e0);
+        let ga = gc.update(&ga);
+        let ea = eager.update(&ea);
+        assert_eq!(gc.relation(&ga, &gb), eager.relation(&ea, &eb));
+        let gj = gc.join(&ga, &gb);
+        let ej = eager.join(&ea, &eb);
+        // The GC'd stamp is never larger than the eagerly reduced one.
+        assert!(gc.size_bits(&gj) <= eager.size_bits(&ej));
+        assert!(!gc.policy().is_degraded());
+    }
+
+    #[test]
     fn default_sync_is_join_then_fork() {
-        let mut mech: TreeStampMechanism = StampMechanism::reducing();
+        let mut mech: VersionStampMechanism = StampMechanism::reducing();
         let root = mech.initial();
         let (a, b) = mech.fork(&root);
         let a = mech.update(&a);

@@ -16,7 +16,7 @@
 //!   array (`Empty ↦ 0`, `Elem ↦ 10`, `Node ↦ 11`), so encode/decode are
 //!   single passes.
 //!
-//! The representation is proptest-equivalent to [`Name`](crate::Name) and
+//! The representation is proptest-equivalent to [`Name`] and
 //! `NameTree` (see `tests/repr_equivalence.rs`) and slots into the stamp
 //! machinery through [`NameLike`](crate::NameLike) as
 //! [`PackedStamp`](crate::PackedStamp) /
@@ -262,6 +262,19 @@ const fn nibble_tables() -> ([i8; 16], [i8; 16]) {
 
 static NIBBLE: ([i8; 16], [i8; 16]) = nibble_tables();
 
+/// Mask selecting the low bit of every 2-bit tag lane in a `u64` word
+/// (eight bytes = 32 tags). The SWAR fast paths classify all 32 lanes at
+/// once: a lane holds `Node` (`0b10`) iff its high bit is set and its low
+/// bit clear, so `(v >> 1) & !v & LANE_LO` has one bit per `Node` lane and
+/// `count_ones` is the node count of the word.
+const LANE_LO: u64 = 0x5555_5555_5555_5555;
+
+/// Reads eight bytes of a tag array as one little-endian word.
+#[inline]
+fn tag_word(bytes: &[u8], byte_index: usize) -> u64 {
+    u64::from_le_bytes(bytes[byte_index..byte_index + 8].try_into().expect("eight bytes"))
+}
+
 /// Borrowed view of a tag array: the inline/heap branch is resolved once
 /// per operation instead of once per tag access, which matters in the
 /// `leq`/`join` scan loops.
@@ -280,18 +293,34 @@ impl TagsView<'_> {
 
     /// Index one past the end of the subtree rooted at `start`.
     ///
-    /// Scalar-steps to the next byte boundary, then consumes whole bytes
-    /// (four tags at a time) through the [`TRAVERSAL`] tables, dropping
-    /// back to scalar only for the byte in which the subtree closes.
+    /// Scalar-steps to the next byte boundary, consumes whole `u64` words
+    /// (32 tags at a time) with a SWAR popcount while the subtree provably
+    /// cannot close inside them, then whole bytes through the [`TRAVERSAL`]
+    /// tables, dropping back to scalar only for the byte in which the
+    /// subtree closes.
     fn subtree_end(&self, start: usize) -> usize {
         let (delta, min_prefix) = (&TRAVERSAL.0, &TRAVERSAL.1);
         let mut i = start;
         let mut pending = 1i32;
         while pending > 0 {
             if i & 3 == 0 {
-                // Byte-aligned: skip whole bytes while the subtree cannot
-                // close inside them.
                 let mut byte_index = i >> 2;
+                // u64 SWAR: a word of 32 tags lowers the open-subtree count
+                // by at most its leaf count (32 − nodes), so while `pending`
+                // exceeds that, the whole word can be skipped. Padding lanes
+                // past the real tags read as `Empty` (leaves) and only make
+                // the bound more conservative.
+                while byte_index + 8 <= self.bytes.len() {
+                    let word = tag_word(self.bytes, byte_index);
+                    let nodes = ((word >> 1) & !word & LANE_LO).count_ones() as i32;
+                    if pending <= 32 - nodes {
+                        break;
+                    }
+                    pending += 2 * nodes - 32;
+                    byte_index += 8;
+                }
+                // Byte-at-a-time: skip whole bytes while the subtree cannot
+                // close inside them.
                 while pending + i32::from(min_prefix[self.bytes[byte_index] as usize]) > 0 {
                     pending += i32::from(delta[self.bytes[byte_index] as usize]);
                     byte_index += 1;
@@ -536,6 +565,35 @@ impl PackedName {
             // no subtree skip, no chance of closing the walk mid-byte),
             // consume a whole byte of each side per step.
             if ia & 3 == 0 && ib & 3 == 0 {
+                // u64 SWAR on top: 32 tag pairs per step while every lane
+                // pair is a plain lockstep transition. `fail` has a bit per
+                // lane where a non-empty `a` sits over an empty `b` or an
+                // interior `a` over an element `b`; `bail` where a leaf `a`
+                // sits over an interior `b` (subtree skip needed). Padding
+                // lanes read as `Empty`/`Empty` leaf pairs, which only
+                // tighten the closing bound (`pending ≤ leaves`), so the
+                // word is consumed only when the walk provably continues
+                // past it.
+                while (ia >> 2) + 8 <= a.bytes.len() && (ib >> 2) + 8 <= b.bytes.len() {
+                    let va = tag_word(a.bytes, ia >> 2);
+                    let vb = tag_word(b.bytes, ib >> 2);
+                    let (a_hi, a_lo) = ((va >> 1) & LANE_LO, va & LANE_LO);
+                    let (b_hi, b_lo) = ((vb >> 1) & LANE_LO, vb & LANE_LO);
+                    let a_node = a_hi & !a_lo;
+                    let a_empty = !(a_hi | a_lo) & LANE_LO;
+                    let b_node = b_hi & !b_lo;
+                    let b_elem = b_lo & !b_hi;
+                    let b_empty = !(b_hi | b_lo) & LANE_LO;
+                    let fail = (!a_empty & LANE_LO & b_empty) | (a_node & b_elem);
+                    let bail = !a_node & LANE_LO & b_node;
+                    let nodes = a_node.count_ones() as i32;
+                    if fail != 0 || bail != 0 || pending <= 32 - nodes {
+                        break;
+                    }
+                    pending += 2 * nodes - 32;
+                    ia += 32;
+                    ib += 32;
+                }
                 let (node4, empty4, elem4) = (&CLASS.0, &CLASS.1, &CLASS.2);
                 loop {
                     let ab = a.bytes[ia >> 2] as usize;
@@ -1205,6 +1263,54 @@ mod tests {
         assert!("{0,".parse::<PackedName>().is_err());
         let debug = format!("{:?}", packed("{0, 1}"));
         assert!(debug.contains("PackedName"));
+    }
+
+    #[test]
+    fn swar_paths_agree_with_name_on_large_names() {
+        // Names with hundreds of deep strings push the tag arrays far past
+        // one u64 word, exercising the 32-tags-at-a-time block loops of
+        // `leq` and `subtree_end` (`contains`/`dominates_string`/`join` all
+        // route through the latter) including their padding-lane handling.
+        let wide = |strings: usize, depth: usize, mut state: u64| {
+            let mut out = Name::empty();
+            while out.len() < strings {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let mut s = BitString::empty();
+                for bit in 0..depth {
+                    s.push(Bit::from((state >> (bit % 64)) & 1 == 1));
+                }
+                out.insert(s);
+            }
+            out
+        };
+        for (strings, depth) in [(64usize, 24usize), (200, 40), (333, 17)] {
+            let na = wide(strings, depth, 0x2545_F491_4F6C_DD1D ^ strings as u64);
+            let nb = wide(strings, depth, 0x9E37_79B9_7F4A_7C15 ^ depth as u64);
+            let joined_n = na.join(&nb);
+            let (pa, pb) = (PackedName::from_name(&na), PackedName::from_name(&nb));
+            let joined_p = pa.join(&pb);
+            assert_eq!(joined_p.to_name(), joined_n);
+            assert!(pa.leq(&joined_p) && pb.leq(&joined_p));
+            assert_eq!(pa.leq(&pb), na.leq(&nb));
+            assert_eq!(joined_p.leq(&pa), joined_n.leq(&na));
+            for s in na.iter().take(16) {
+                assert_eq!(pb.contains(s), nb.contains(s));
+                assert_eq!(pb.dominates_string(s), nb.dominates_string(s));
+                assert_eq!(joined_p.dominates_string(s), joined_n.dominates_string(s));
+                let parent = s.parent().expect("depth > 0");
+                assert_eq!(pa.dominates_string(&parent), na.dominates_string(&parent));
+            }
+            // Perturb one string so leq exercises the mid-word fail/bail
+            // exits, not just the lockstep path.
+            let mut shrunk = joined_n.clone();
+            let victim = joined_n.iter().next().expect("non-empty").clone();
+            shrunk.remove(&victim);
+            let shrunk_p = PackedName::from_name(&shrunk);
+            assert_eq!(shrunk_p.leq(&joined_p), shrunk.leq(&joined_n));
+            assert_eq!(joined_p.leq(&shrunk_p), joined_n.leq(&shrunk));
+        }
     }
 
     #[test]

@@ -90,27 +90,34 @@ impl fmt::Display for Reduction {
 
 /// A version stamp `(update, id)`, generic over the name representation.
 ///
-/// Use the [`VersionStamp`] alias (trie-backed, the practical choice) unless
-/// you specifically want the literal antichain representation
-/// ([`SetStamp`]).
+/// Use the [`VersionStamp`] alias (packed tag array, the workspace default)
+/// unless you specifically want the literal antichain representation
+/// ([`SetStamp`]) or the boxed trie ([`TreeStamp`]).
 #[derive(Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct Stamp<N = NameTree> {
+pub struct Stamp<N = PackedName> {
     update: N,
     id: N,
 }
 
-/// Version stamp backed by the packed trie representation — the
-/// recommended, efficient default.
-pub type VersionStamp = Stamp<NameTree>;
+/// Version stamp backed by the flat preorder tag array ([`PackedName`]) —
+/// the workspace default: cache-friendly, allocation-free hot paths (see
+/// the `repr` ablation in the benchmark crate).
+pub type VersionStamp = Stamp<PackedName>;
 
 /// Version stamp backed by the literal antichain-of-strings representation
 /// of the paper; used by the model-level tests and the `repr` ablation.
 pub type SetStamp = Stamp<Name>;
 
-/// Version stamp backed by the flat preorder tag array
-/// ([`PackedName`]) — the cache-friendly, allocation-free hot-path
-/// representation.
+/// Version stamp backed by the boxed binary-trie representation.
+///
+/// Historical default up to the packed-name flip; kept as a comparison
+/// representation for the `repr` ablation and structure-sharing workloads.
+/// New code should prefer [`VersionStamp`].
+pub type TreeStamp = Stamp<NameTree>;
+
+/// Version stamp backed by the flat preorder tag array (same as
+/// [`VersionStamp`]; kept for ablation-table symmetry).
 pub type PackedStamp = Stamp<PackedName>;
 
 impl<N: NameLike> Stamp<N> {
@@ -362,7 +369,7 @@ impl<N: NameLike> Stamp<N> {
 
     /// Converts to the boxed trie representation.
     #[must_use]
-    pub fn to_tree_stamp(&self) -> VersionStamp {
+    pub fn to_tree_stamp(&self) -> TreeStamp {
         Stamp {
             update: NameTree::from_name(&self.update.to_name()),
             id: NameTree::from_name(&self.id.to_name()),
@@ -406,14 +413,14 @@ impl<N: NameLike> fmt::Debug for Stamp<N> {
     }
 }
 
-impl From<SetStamp> for VersionStamp {
+impl From<SetStamp> for TreeStamp {
     fn from(stamp: SetStamp) -> Self {
         stamp.to_tree_stamp()
     }
 }
 
-impl From<VersionStamp> for SetStamp {
-    fn from(stamp: VersionStamp) -> Self {
+impl From<TreeStamp> for SetStamp {
+    fn from(stamp: TreeStamp) -> Self {
         stamp.to_set_stamp()
     }
 }
@@ -424,8 +431,8 @@ impl From<SetStamp> for PackedStamp {
     }
 }
 
-impl From<VersionStamp> for PackedStamp {
-    fn from(stamp: VersionStamp) -> Self {
+impl From<TreeStamp> for PackedStamp {
+    fn from(stamp: TreeStamp) -> Self {
         stamp.to_packed_stamp()
     }
 }
@@ -436,7 +443,7 @@ impl From<PackedStamp> for SetStamp {
     }
 }
 
-impl From<PackedStamp> for VersionStamp {
+impl From<PackedStamp> for TreeStamp {
     fn from(stamp: PackedStamp) -> Self {
         stamp.to_tree_stamp()
     }
@@ -454,8 +461,8 @@ mod tests {
     fn seed_stamp() {
         let seed = VersionStamp::seed();
         assert!(seed.is_seed_identity());
-        assert_eq!(seed.update_name(), &NameTree::epsilon());
-        assert_eq!(seed.id_name(), &NameTree::epsilon());
+        assert_eq!(seed.update_name(), &PackedName::epsilon());
+        assert_eq!(seed.id_name(), &PackedName::epsilon());
         assert_eq!(seed, VersionStamp::default());
         assert_eq!(seed.to_string(), "[{ε} | {ε}]");
         assert!(seed.validate().is_ok());
@@ -583,15 +590,20 @@ mod tests {
     fn representation_conversions_agree() {
         let (a, b) = SetStamp::seed().fork();
         let a = a.update();
-        let tree_a: VersionStamp = a.clone().into();
-        let tree_b: VersionStamp = b.clone().into();
-        assert_eq!(tree_a.relation(&tree_b), a.relation(&b));
-        assert_eq!(tree_a.join(&tree_b).to_set_stamp(), a.join(&b));
-        let back: SetStamp = tree_a.clone().into();
+        let packed_a: VersionStamp = a.clone().into();
+        let packed_b: VersionStamp = b.clone().into();
+        assert_eq!(packed_a.relation(&packed_b), a.relation(&b));
+        assert_eq!(packed_a.join(&packed_b).to_set_stamp(), a.join(&b));
+        let back: SetStamp = packed_a.clone().into();
         assert_eq!(back, a);
-        assert_eq!(tree_a.bit_size(), a.bit_size());
-        assert_eq!(tree_a.string_count(), a.string_count());
-        assert_eq!(tree_a.depth(), a.depth());
+        assert_eq!(packed_a.bit_size(), a.bit_size());
+        assert_eq!(packed_a.string_count(), a.string_count());
+        assert_eq!(packed_a.depth(), a.depth());
+        let tree_a: TreeStamp = a.clone().into();
+        let round: PackedStamp = tree_a.clone().into();
+        assert_eq!(round, packed_a);
+        let tree_back: TreeStamp = round.into();
+        assert_eq!(tree_back, tree_a);
     }
 
     #[test]

@@ -60,11 +60,14 @@ fn replay<M: Mechanism>(mechanism: M, trace: &Trace) -> Configuration<M> {
 }
 
 /// Checks Corollary 5.2: pairwise relations from stamps match those from
-/// causal histories on the same frontier.
-fn assert_corollary_5_2<N: NameLike>(
-    stamps: &Configuration<StampMechanism<N>>,
+/// causal histories on the same frontier (any reduction policy).
+fn assert_corollary_5_2<N, P>(
+    stamps: &Configuration<StampMechanism<N, P>>,
     causal: &Configuration<CausalMechanism>,
-) {
+) where
+    N: NameLike,
+    StampMechanism<N, P>: Mechanism<Element = vstamp_core::Stamp<N>>,
+{
     assert_eq!(stamps.ids(), causal.ids(), "domains must coincide");
     for (a, b, expected) in causal.pairwise_relations() {
         let actual = stamps.relation(a, b).expect("same ids");
@@ -74,10 +77,13 @@ fn assert_corollary_5_2<N: NameLike>(
 
 /// Checks the stronger Proposition 5.1: for every element `x` and non-empty
 /// subset `S` of the frontier, `C(x) ⊆ ⋃C[S] ⟺ fst(V(x)) ⊑ ⊔fst[V[S]]`.
-fn assert_proposition_5_1<N: NameLike>(
-    stamps: &Configuration<StampMechanism<N>>,
+fn assert_proposition_5_1<N, P>(
+    stamps: &Configuration<StampMechanism<N, P>>,
     causal: &Configuration<CausalMechanism>,
-) {
+) where
+    N: NameLike,
+    StampMechanism<N, P>: Mechanism<Element = vstamp_core::Stamp<N>>,
+{
     let ids = causal.ids();
     // Cap the exhaustive subset enumeration to keep the test fast; the
     // frontier rarely exceeds a handful of elements in these scripts.
@@ -236,13 +242,20 @@ proptest! {
         }
     }
 
-    /// Every reachable stamp round-trips through the wire encoding.
+    /// Every reachable stamp round-trips through the wire encoding — for
+    /// both the packed default and the boxed-trie comparison encoding.
     #[test]
     fn reachable_stamps_roundtrip_encoding(script in script(30)) {
-        let (config, _trace) = run_script(TreeStampMechanism::non_reducing(), &script);
+        let (config, trace) = run_script(vstamp_core::VersionStampMechanism::non_reducing(), &script);
         for (_, stamp) in config.iter() {
             let bytes = vstamp_core::encode::encode_stamp(stamp);
             let decoded = vstamp_core::encode::decode_stamp(&bytes).expect("reachable stamps are valid");
+            prop_assert_eq!(&decoded, stamp);
+        }
+        let tree_config = replay(TreeStampMechanism::non_reducing(), &trace);
+        for (_, stamp) in tree_config.iter() {
+            let bytes = vstamp_core::encode::encode_tree_stamp(stamp);
+            let decoded = vstamp_core::encode::decode_tree_stamp(&bytes).expect("reachable stamps are valid");
             prop_assert_eq!(&decoded, stamp);
         }
     }

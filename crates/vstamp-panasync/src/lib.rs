@@ -330,9 +330,37 @@ impl Workspace {
         Ok(l.relation(r))
     }
 
+    /// Collapses a just-joined stamp with frontier evidence from every copy
+    /// *except* the two being replaced by it: at the join point the pair's
+    /// mutually fragmented identity becomes exclusive to the joined stamp,
+    /// which is exactly when the GC of [`vstamp_core::gc`] can fire. This
+    /// is what keeps long copy/edit/sync histories bounded (the ROADMAP
+    /// fragmentation wall); see `examples/file_sync.rs` for a 40-epoch
+    /// partition/heal run.
+    fn gc_joined(&self, consumed: [&str; 2], mut copy: FileCopy) -> FileCopy {
+        let evidence = vstamp_core::gc::FrontierEvidence::from_stamps(
+            self.copies
+                .iter()
+                .filter(|(l, _)| *l != consumed[0] && *l != consumed[1])
+                .map(|(_, c)| c.stamp()),
+        );
+        copy.stamp =
+            vstamp_core::gc::shrink_to_covers(&vstamp_core::gc::collapse(&copy.stamp, &evidence));
+        copy
+    }
+
     /// Synchronizes the copies at two locations: obsolete content is
-    /// replaced, equivalent copies are left alone, and conflicts are
+    /// replaced, equivalent copies keep their content, and conflicts are
     /// reported without touching either copy.
+    ///
+    /// In the non-conflict outcomes (including [`SyncOutcome::AlreadyInSync`])
+    /// both locations receive fresh stamps: the merged stamp is compacted
+    /// with frontier-evidence GC and split back onto the pair — the
+    /// workspace holds the whole frontier of the file, so it can supply the
+    /// evidence the collapse needs (see [`vstamp_core::gc`]). Stamps cloned
+    /// out of the workspace before a synchronization are therefore stale
+    /// and must not be compared against live copies (the paper's frontier
+    /// rule).
     ///
     /// # Errors
     ///
@@ -349,17 +377,27 @@ impl Workspace {
             .ok_or_else(|| WorkspaceError::UnknownLocation(right.to_owned()))?
             .clone();
         match l.reconcile(&r) {
-            Reconciliation::InSync(_) => Ok(SyncOutcome::AlreadyInSync),
+            Reconciliation::InSync(merged) => {
+                // Both copies carried the same writes; re-split the merged
+                // (and GC'd) stamp so the pair sheds its mutual identity
+                // fragmentation even when no content moves.
+                let (for_left, for_right) = self.gc_joined([left, right], merged).duplicate();
+                self.copies.insert(left.to_owned(), for_left);
+                self.copies.insert(right.to_owned(), for_right);
+                Ok(SyncOutcome::AlreadyInSync)
+            }
             Reconciliation::FastForward(updated_remote) => {
                 // propagate the local content to the right location; split
                 // the merged stamp so both copies remain distinct replicas
-                let (for_left, for_right) = updated_remote.duplicate();
+                let (for_left, for_right) =
+                    self.gc_joined([left, right], updated_remote).duplicate();
                 self.copies.insert(left.to_owned(), for_left);
                 self.copies.insert(right.to_owned(), for_right);
                 Ok(SyncOutcome::Propagated { from: left.to_owned(), to: right.to_owned() })
             }
             Reconciliation::Outdated(updated_local) => {
-                let (for_left, for_right) = updated_local.duplicate();
+                let (for_left, for_right) =
+                    self.gc_joined([left, right], updated_local).duplicate();
                 self.copies.insert(left.to_owned(), for_left);
                 self.copies.insert(right.to_owned(), for_right);
                 Ok(SyncOutcome::Propagated { from: right.to_owned(), to: left.to_owned() })
@@ -395,7 +433,7 @@ impl Workspace {
             merged_stamp: l.stamp().join(r.stamp()),
         };
         let resolved = FileCopy::resolve_conflict(&conflict, content);
-        let (for_left, for_right) = resolved.duplicate();
+        let (for_left, for_right) = self.gc_joined([left, right], resolved).duplicate();
         self.copies.insert(left.to_owned(), for_left);
         self.copies.insert(right.to_owned(), for_right);
         Ok(())
@@ -404,6 +442,70 @@ impl Workspace {
     /// Iterates over `(location, copy)` pairs in location order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &FileCopy)> {
         self.copies.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total identity strings across all copies — the fragmentation metric
+    /// of the ROADMAP scaling wall, applied to this workspace.
+    #[must_use]
+    pub fn identity_strings(&self) -> usize {
+        self.copies.values().map(|c| c.stamp().id_name().string_count()).sum()
+    }
+
+    /// Compacts the identities of every copy, using the whole frontier the
+    /// workspace holds:
+    ///
+    /// * **Quiescent recycling** — when every copy is pairwise
+    ///   [`Relation::Equal`] (the state a completed anti-entropy sweep
+    ///   leaves behind), the entire identity space is re-minted: all
+    ///   stamps are replaced by a fresh balanced fork tree of the seed.
+    ///   Every pairwise relation is `Equal` before and after, the next
+    ///   write on any copy dominates the others exactly as it would have,
+    ///   and no stale stamp is ever compared again (the workspace owns all
+    ///   copies) — this is the recycling discipline of bounded-timestamp
+    ///   systems, and the only rewrite that truly *bounds* identities
+    ///   under sustained mixing.
+    /// * Otherwise — per-copy frontier-evidence [`collapse`](vstamp_core::gc::collapse)
+    ///   (`vstamp_core::gc`) plus cover shrinking, which reclaims whatever
+    ///   subtrees the evidence proves exclusive.
+    ///
+    /// Calling this after each synchronization sweep keeps long
+    /// copy/edit/sync histories bounded (see `examples/file_sync.rs` for a
+    /// 40-epoch partition/heal run); without it they fragment into the
+    /// 10⁴–10⁵-string range measured in ROADMAP.
+    ///
+    /// Returns the number of identity strings removed.
+    pub fn compact(&mut self) -> usize {
+        let before: usize = self.identity_strings();
+        let stamps: Vec<&VersionStamp> = self.copies.values().map(FileCopy::stamp).collect();
+        let quiescent = stamps
+            .iter()
+            .enumerate()
+            .all(|(i, a)| stamps[i + 1..].iter().all(|b| a.relation(b) == Relation::Equal));
+        if quiescent && self.copies.len() > 1 {
+            let mut fresh = vec![VersionStamp::seed()];
+            while fresh.len() < self.copies.len() {
+                let victim = fresh.remove(0);
+                let (a, b) = victim.fork();
+                fresh.push(a);
+                fresh.push(b);
+            }
+            for (copy, stamp) in self.copies.values_mut().zip(fresh) {
+                copy.stamp = stamp;
+            }
+        } else {
+            let locations: Vec<String> = self.copies.keys().cloned().collect();
+            for location in locations {
+                let evidence = vstamp_core::gc::FrontierEvidence::from_stamps(
+                    self.copies.iter().filter(|(l, _)| **l != location).map(|(_, c)| c.stamp()),
+                );
+                let copy = self.copies.get_mut(&location).expect("listed location");
+                copy.stamp = vstamp_core::gc::shrink_to_covers(&vstamp_core::gc::collapse(
+                    &copy.stamp,
+                    &evidence,
+                ));
+            }
+        }
+        before.saturating_sub(self.identity_strings())
     }
 }
 
@@ -426,6 +528,46 @@ pub enum SyncOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compact_recycles_at_sync_points_and_preserves_relations() {
+        let mut workspace = Workspace::new();
+        workspace.create("a", "f", "v0").unwrap();
+        for location in ["b", "c", "d"] {
+            workspace.copy("a", location).unwrap();
+        }
+        // Partial histories: b writes, a pulls; c stays behind.
+        workspace.write("b", "v1").unwrap();
+        workspace.synchronize("a", "b").unwrap();
+        let before: Vec<Relation> = [("a", "c"), ("b", "c"), ("a", "b")]
+            .iter()
+            .map(|(l, r)| workspace.compare(l, r).unwrap())
+            .collect();
+        workspace.compact();
+        let after: Vec<Relation> = [("a", "c"), ("b", "c"), ("a", "b")]
+            .iter()
+            .map(|(l, r)| workspace.compare(l, r).unwrap())
+            .collect();
+        assert_eq!(before, after, "compaction must not change any relation");
+
+        // A full sweep reaches quiescence; compact then recycles the whole
+        // identity space to one fresh fork-tree leaf per copy.
+        for location in ["b", "c", "d"] {
+            workspace.synchronize("a", location).unwrap();
+        }
+        for location in ["b", "c", "d"] {
+            assert_eq!(workspace.compare("a", location).unwrap(), Relation::Equal);
+        }
+        workspace.compact();
+        assert_eq!(workspace.identity_strings(), 4);
+        for (_, copy) in workspace.iter() {
+            assert_eq!(copy.stamp().id_name().string_count(), 1);
+            copy.stamp().validate().unwrap();
+        }
+        // The recycled stamps keep working: a new write dominates the rest.
+        workspace.write("c", "v2").unwrap();
+        assert_eq!(workspace.compare("c", "a").unwrap(), Relation::Dominates);
+    }
 
     #[test]
     fn create_and_duplicate() {

@@ -12,8 +12,9 @@
 //!   elements and expected relations;
 //! * [`oracle`] — replay-and-compare against the causal-history
 //!   specification (experiments E5/E6);
-//! * [`metrics`] — per-element space accounting over whole traces
-//!   (experiments E7/E9/E10);
+//! * [`metrics`] — per-element space accounting and identity-fragmentation
+//!   curves over whole traces (experiments E7/E9/E10 and the identity-GC
+//!   report);
 //! * [`runner`] — a parallel comparison runner covering every mechanism in
 //!   the workspace;
 //! * [`viz`] — Graphviz (DOT) export of evolution DAGs, for rendering the
@@ -22,10 +23,10 @@
 //! ```
 //! use vstamp_sim::workload::{generate, WorkloadSpec};
 //! use vstamp_sim::oracle::check_against_oracle;
-//! use vstamp_core::TreeStampMechanism;
+//! use vstamp_core::VersionStampMechanism;
 //!
 //! let trace = generate(&WorkloadSpec::new(100, 8, 42));
-//! let report = check_against_oracle(TreeStampMechanism::reducing(), &trace);
+//! let report = check_against_oracle(VersionStampMechanism::reducing(), &trace);
 //! assert!(report.is_exact());
 //! ```
 
@@ -40,7 +41,9 @@ pub mod scenario;
 pub mod viz;
 pub mod workload;
 
-pub use metrics::{measure_space, ComparisonTable, SpaceReport};
+pub use metrics::{
+    measure_fragmentation, measure_space, ComparisonTable, FragmentationReport, SpaceReport,
+};
 pub use oracle::{check_against_oracle, AgreementReport, Disagreement};
 pub use runner::{compare_mechanisms, MechanismSet};
 pub use scenario::{figure1, figure2, figure3, figure4, stamp_walkthrough, Scenario};

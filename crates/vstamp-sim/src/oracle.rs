@@ -107,7 +107,7 @@ mod tests {
     use super::*;
     use crate::workload::{generate, OperationMix, WorkloadSpec};
     use vstamp_baselines::{DottedMechanism, FixedVersionVectorMechanism, VectorClockMechanism};
-    use vstamp_core::{StampMechanism, TreeStampMechanism};
+    use vstamp_core::{StampMechanism, TreeStampMechanism, VersionStampMechanism};
     use vstamp_itc::ItcMechanism;
 
     fn sample_trace(seed: u64) -> Trace {
@@ -118,9 +118,11 @@ mod tests {
     fn stamps_agree_exactly_with_the_oracle() {
         for seed in 0..4 {
             let trace = sample_trace(seed);
-            let report = check_against_oracle(TreeStampMechanism::reducing(), &trace);
+            let report = check_against_oracle(VersionStampMechanism::reducing(), &trace);
             assert!(report.is_exact(), "disagreements: {:?}", report.disagreements);
             assert_eq!(report.mechanism, "version-stamps");
+            assert!(check_against_oracle(VersionStampMechanism::frontier_gc(), &trace).is_exact());
+            assert!(check_against_oracle(TreeStampMechanism::reducing(), &trace).is_exact());
             assert_eq!(report.operations, trace.len());
             assert!(report.comparisons > 0);
             assert_eq!(report.agreement_ratio(), 1.0);
@@ -132,14 +134,11 @@ mod tests {
         // Update-heavy keeps the non-reducing identities small enough to
         // replay (they grow exponentially with sync cycles, see ROADMAP).
         let trace = generate(&WorkloadSpec::new(100, 8, 9).with_mix(OperationMix::update_heavy()));
+        assert!(check_against_oracle(VersionStampMechanism::non_reducing(), &trace).is_exact());
         assert!(check_against_oracle(TreeStampMechanism::non_reducing(), &trace).is_exact());
         assert!(check_against_oracle(StampMechanism::<vstamp_core::Name>::reducing(), &trace)
             .is_exact());
-        assert!(check_against_oracle(
-            StampMechanism::<vstamp_core::PackedName>::reducing(),
-            &trace
-        )
-        .is_exact());
+        assert!(check_against_oracle(VersionStampMechanism::deferred(4), &trace).is_exact());
         assert!(check_against_oracle(FixedVersionVectorMechanism::new(), &trace).is_exact());
         assert!(check_against_oracle(VectorClockMechanism::new(), &trace).is_exact());
         assert!(check_against_oracle(DottedMechanism::new(), &trace).is_exact());
@@ -183,7 +182,7 @@ mod tests {
     #[test]
     fn merged_frontier_dominates_for_stamps_and_itc() {
         let trace = generate(&WorkloadSpec::new(100, 8, 5).with_mix(OperationMix::update_heavy()));
-        assert!(merged_frontier_dominates(TreeStampMechanism::non_reducing(), &trace));
+        assert!(merged_frontier_dominates(VersionStampMechanism::non_reducing(), &trace));
         assert!(merged_frontier_dominates(ItcMechanism::new(), &trace));
         assert!(merged_frontier_dominates(FixedVersionVectorMechanism::new(), &trace));
         assert!(merged_frontier_dominates(CausalMechanism::new(), &trace));
@@ -191,7 +190,7 @@ mod tests {
 
     #[test]
     fn empty_trace_report() {
-        let report = check_against_oracle(TreeStampMechanism::reducing(), &Trace::new());
+        let report = check_against_oracle(VersionStampMechanism::reducing(), &Trace::new());
         assert!(report.is_exact());
         assert_eq!(report.comparisons, 0);
         assert_eq!(report.agreement_ratio(), 1.0);

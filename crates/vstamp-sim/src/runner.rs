@@ -14,7 +14,7 @@ use vstamp_baselines::{
     RandomIdCausalMechanism, VectorClockMechanism,
 };
 use vstamp_core::causal::CausalMechanism;
-use vstamp_core::{PackedStampMechanism, SetStampMechanism, Trace, TreeStampMechanism};
+use vstamp_core::{SetStampMechanism, Trace, TreeStampMechanism, VersionStampMechanism};
 use vstamp_itc::ItcMechanism;
 
 use crate::metrics::{measure_space, ComparisonTable, SpaceReport};
@@ -27,8 +27,13 @@ pub enum MechanismSet {
     /// The three name representations (set / boxed tree / packed tags),
     /// all reducing — the `repr` ablation.
     Representations,
-    /// Version stamps (boxed and packed), every baseline, and ITC — the
-    /// full E7/E10 table.
+    /// The reduction-policy ablation over the default representation:
+    /// eager (Section 6), deferred/batched, and frontier-evidence GC.
+    /// (The non-reducing policy is omitted — use
+    /// [`MechanismSet::StampsOnly`] on a capped trace for it.)
+    Policies,
+    /// Version stamps (eager and GC policies), every baseline, and ITC —
+    /// the full E7/E10 table.
     All,
     /// [`MechanismSet::All`] without the non-reducing stamps, for long
     /// traces the non-reducing mechanism cannot replay (its identities
@@ -42,25 +47,40 @@ fn measurement_jobs(
 ) -> Vec<Box<dyn FnOnce() -> SpaceReport + Send>> {
     let mut jobs: Vec<Box<dyn FnOnce() -> SpaceReport + Send>> = Vec::new();
     let t = trace.clone();
-    jobs.push(Box::new(move || measure_space(TreeStampMechanism::reducing(), &t)));
+    jobs.push(Box::new(move || measure_space(VersionStampMechanism::reducing(), &t)));
     match set {
         MechanismSet::StampsOnly => {
             let t = trace.clone();
-            jobs.push(Box::new(move || measure_space(TreeStampMechanism::non_reducing(), &t)));
+            jobs.push(Box::new(move || measure_space(VersionStampMechanism::non_reducing(), &t)));
         }
         MechanismSet::Representations => {
             let t = trace.clone();
             jobs.push(Box::new(move || measure_space(SetStampMechanism::reducing(), &t)));
             let t = trace.clone();
-            jobs.push(Box::new(move || measure_space(PackedStampMechanism::reducing(), &t)));
+            jobs.push(Box::new(move || measure_space(TreeStampMechanism::reducing(), &t)));
+        }
+        MechanismSet::Policies => {
+            let t = trace.clone();
+            jobs.push(Box::new(move || {
+                measure_space(
+                    vstamp_core::StampMechanism::<vstamp_core::PackedName, _>::with_policy(
+                        vstamp_core::Deferred::default(),
+                    ),
+                    &t,
+                )
+            }));
+            let t = trace.clone();
+            jobs.push(Box::new(move || measure_space(VersionStampMechanism::frontier_gc(), &t)));
         }
         MechanismSet::All | MechanismSet::AllReducing => {
             if set == MechanismSet::All {
                 let t = trace.clone();
-                jobs.push(Box::new(move || measure_space(TreeStampMechanism::non_reducing(), &t)));
+                jobs.push(Box::new(move || {
+                    measure_space(VersionStampMechanism::non_reducing(), &t)
+                }));
             }
             let t = trace.clone();
-            jobs.push(Box::new(move || measure_space(PackedStampMechanism::reducing(), &t)));
+            jobs.push(Box::new(move || measure_space(VersionStampMechanism::frontier_gc(), &t)));
             let t = trace.clone();
             jobs.push(Box::new(move || measure_space(FixedVersionVectorMechanism::new(), &t)));
             let t = trace.clone();
@@ -130,15 +150,29 @@ mod tests {
         let trace = generate(&WorkloadSpec::new(150, 8, 6).with_mix(OperationMix::churn_heavy()));
         let table = compare_mechanisms(MechanismSet::Representations, &trace);
         assert_eq!(table.rows().len(), 3);
-        let tree = table.row("version-stamps").expect("tree row");
+        let packed = table.row("version-stamps").expect("packed (default) row");
         let set = table.row("version-stamps-set").expect("set row");
-        let packed = table.row("version-stamps-packed").expect("packed row");
+        let tree = table.row("version-stamps-tree").expect("tree row");
         // The three representations encode the same names, so every space
         // statistic must agree bit-for-bit.
-        assert_eq!(tree.mean_element_bits, set.mean_element_bits);
-        assert_eq!(tree.mean_element_bits, packed.mean_element_bits);
-        assert_eq!(tree.max_element_bits, packed.max_element_bits);
-        assert_eq!(tree.final_frontier_bits, packed.final_frontier_bits);
+        assert_eq!(packed.mean_element_bits, set.mean_element_bits);
+        assert_eq!(packed.mean_element_bits, tree.mean_element_bits);
+        assert_eq!(packed.max_element_bits, tree.max_element_bits);
+        assert_eq!(packed.final_frontier_bits, tree.final_frontier_bits);
+    }
+
+    #[test]
+    fn policy_comparison_keeps_gc_at_or_below_eager() {
+        let trace = generate(&WorkloadSpec::new(120, 6, 6).with_mix(OperationMix::churn_heavy()));
+        let table = compare_mechanisms(MechanismSet::Policies, &trace);
+        assert_eq!(table.rows().len(), 3);
+        let eager = table.row("version-stamps").expect("eager row");
+        let deferred = table.row("version-stamps-deferred").expect("deferred row");
+        let gc = table.row("version-stamps-gc").expect("gc row");
+        assert!(gc.max_element_bits <= eager.max_element_bits);
+        assert!(gc.final_frontier_bits <= eager.final_frontier_bits);
+        // Deferred trades space for time: never smaller than eager.
+        assert!(deferred.max_element_bits >= eager.max_element_bits);
     }
 
     #[test]
@@ -149,7 +183,7 @@ mod tests {
         for name in [
             "version-stamps",
             "version-stamps-nonreducing",
-            "version-stamps-packed",
+            "version-stamps-gc",
             "version-vectors",
             "dynamic-version-vectors",
             "vector-clocks",

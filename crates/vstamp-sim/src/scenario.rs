@@ -15,8 +15,8 @@
 
 use vstamp_core::causal::CausalMechanism;
 use vstamp_core::{
-    Applied, Configuration, ElementId, Mechanism, Operation, Relation, Trace, TreeStampMechanism,
-    VersionStamp,
+    Applied, Configuration, ElementId, Mechanism, Operation, Relation, Trace, VersionStamp,
+    VersionStampMechanism,
 };
 
 use vstamp_baselines::FixedVersionVectorMechanism;
@@ -65,9 +65,9 @@ impl Scenario {
 /// column of Figure 1.
 #[must_use]
 pub fn figure1() -> Scenario {
-    let mut config = Configuration::new(TreeStampMechanism::reducing());
+    let mut config = Configuration::new(VersionStampMechanism::reducing());
     let mut trace = Trace::new();
-    let apply = |config: &mut Configuration<TreeStampMechanism>, trace: &mut Trace, op| {
+    let apply = |config: &mut Configuration<VersionStampMechanism>, trace: &mut Trace, op| {
         let applied = config.apply(op).expect("figure 1 operations are valid");
         trace.push(op);
         applied
@@ -130,9 +130,9 @@ pub fn figure1() -> Scenario {
 /// lineage updates twice more; finally the middle elements join into `g₁`.
 #[must_use]
 pub fn figure2() -> Scenario {
-    let mut config = Configuration::new(TreeStampMechanism::reducing());
+    let mut config = Configuration::new(VersionStampMechanism::reducing());
     let mut trace = Trace::new();
-    let apply = |config: &mut Configuration<TreeStampMechanism>, trace: &mut Trace, op| {
+    let apply = |config: &mut Configuration<VersionStampMechanism>, trace: &mut Trace, op| {
         let applied = config.apply(op).expect("figure 2 operations are valid");
         trace.push(op);
         applied
@@ -216,7 +216,7 @@ pub struct WalkthroughStep {
 /// after every operation — the data behind the Figure 4 regeneration.
 #[must_use]
 pub fn stamp_walkthrough(scenario: &Scenario) -> Vec<WalkthroughStep> {
-    let mut config = Configuration::new(TreeStampMechanism::reducing());
+    let mut config = Configuration::new(VersionStampMechanism::reducing());
     let mut steps = vec![WalkthroughStep {
         operation: None,
         frontier: config.iter().map(|(id, s)| (id, s.clone())).collect(),
@@ -315,6 +315,7 @@ pub fn figure2_causal_histories() -> Vec<(String, String)> {
 mod tests {
     use super::*;
     use vstamp_baselines::DynamicVersionVectorMechanism;
+    use vstamp_core::TreeStampMechanism;
     use vstamp_itc::ItcMechanism;
 
     #[test]
@@ -335,8 +336,10 @@ mod tests {
 
     #[test]
     fn figure1_relations_hold_for_every_mechanism() {
+        verify_figure1_relations(VersionStampMechanism::reducing()).unwrap();
+        verify_figure1_relations(VersionStampMechanism::non_reducing()).unwrap();
+        verify_figure1_relations(VersionStampMechanism::frontier_gc()).unwrap();
         verify_figure1_relations(TreeStampMechanism::reducing()).unwrap();
-        verify_figure1_relations(TreeStampMechanism::non_reducing()).unwrap();
         verify_figure1_relations(FixedVersionVectorMechanism::new()).unwrap();
         verify_figure1_relations(DynamicVersionVectorMechanism::new()).unwrap();
         verify_figure1_relations(CausalMechanism::new()).unwrap();
@@ -345,8 +348,10 @@ mod tests {
 
     #[test]
     fn figure2_relations_hold_for_every_mechanism() {
+        verify_figure2_relations(VersionStampMechanism::reducing()).unwrap();
+        verify_figure2_relations(VersionStampMechanism::non_reducing()).unwrap();
+        verify_figure2_relations(VersionStampMechanism::frontier_gc()).unwrap();
         verify_figure2_relations(TreeStampMechanism::reducing()).unwrap();
-        verify_figure2_relations(TreeStampMechanism::non_reducing()).unwrap();
         verify_figure2_relations(FixedVersionVectorMechanism::new()).unwrap();
         verify_figure2_relations(CausalMechanism::new()).unwrap();
         verify_figure2_relations(ItcMechanism::new()).unwrap();
@@ -393,8 +398,8 @@ mod tests {
         // single element exercises the simplification of Section 6 and
         // recovers the seed identity {ε}.
         let scenario = figure4();
-        let mut config = scenario.replay(TreeStampMechanism::reducing());
-        let mut non_reducing = scenario.replay(TreeStampMechanism::non_reducing());
+        let mut config = scenario.replay(VersionStampMechanism::reducing());
+        let mut non_reducing = scenario.replay(VersionStampMechanism::non_reducing());
         while config.len() > 1 {
             let ids = config.ids();
             config.apply(Operation::Join(ids[0], ids[1])).unwrap();
@@ -413,7 +418,7 @@ mod tests {
         let scenario = figure1();
         assert_eq!(scenario.labels.len(), 3);
         let a = scenario.element("A");
-        assert!(scenario.replay(TreeStampMechanism::reducing()).contains(a));
+        assert!(scenario.replay(VersionStampMechanism::reducing()).contains(a));
     }
 
     #[test]

@@ -101,11 +101,11 @@ impl Default for WorkloadSpec {
 /// version-stamp mechanism) so that it always names live elements; the
 /// returned trace replays cleanly against any mechanism because element
 /// identifiers are allocated deterministically by
-/// [`Configuration`](vstamp_core::Configuration).
+/// [`Configuration`].
 #[must_use]
 pub fn generate(spec: &WorkloadSpec) -> Trace {
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
+    let mut config = Configuration::new(vstamp_core::VersionStampMechanism::reducing());
     let mut trace = Trace::new();
     for _ in 0..spec.operations {
         let ids = config.ids();
@@ -158,9 +158,9 @@ pub fn generate_partition_heal(
     seed: u64,
 ) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
+    let mut config = Configuration::new(vstamp_core::VersionStampMechanism::reducing());
     let mut trace = Trace::new();
-    let apply = |config: &mut Configuration<vstamp_core::TreeStampMechanism>,
+    let apply = |config: &mut Configuration<vstamp_core::VersionStampMechanism>,
                  trace: &mut Trace,
                  op: Operation| {
         let applied = config.apply(op).expect("workload operations target live elements");
@@ -236,9 +236,9 @@ pub fn generate_partition_heal(
 #[must_use]
 pub fn generate_fixed_population(replicas: usize, rounds: usize, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
+    let mut config = Configuration::new(vstamp_core::VersionStampMechanism::reducing());
     let mut trace = Trace::new();
-    let apply = |config: &mut Configuration<vstamp_core::TreeStampMechanism>,
+    let apply = |config: &mut Configuration<vstamp_core::VersionStampMechanism>,
                  trace: &mut Trace,
                  op: Operation| {
         let applied = config.apply(op).expect("live elements");
@@ -302,7 +302,7 @@ pub struct FrontierStats {
 /// statistics.
 #[must_use]
 pub fn frontier_stats(trace: &Trace) -> FrontierStats {
-    let mut config = Configuration::new(vstamp_core::TreeStampMechanism::reducing());
+    let mut config = Configuration::new(vstamp_core::VersionStampMechanism::reducing());
     let mut max_width = config.len();
     for op in trace {
         config.apply(*op).expect("trace replays cleanly");

@@ -62,6 +62,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_workspace(&workspace);
     assert_eq!(workspace.compare("workstation", "laptop")?, Relation::Equal);
     assert_eq!(workspace.compare("workstation", "usb-stick")?, Relation::Equal);
+
+    long_partition_heal_run()?;
+    Ok(())
+}
+
+/// Months of field work in one loop: the file lives at twelve sites that
+/// edit and synchronize inside partitioned work groups during the day, with
+/// group membership reshuffled ("healed") every ten epochs and a nightly
+/// anti-entropy sweep bringing every copy up to date.
+///
+/// Histories like this are exactly the ROADMAP fragmentation wall: without
+/// identity GC the stamps gain strings at every sync and reach the
+/// 10³–10⁴-string range within a handful of epochs. The workspace holds the
+/// *whole* frontier of the file, so it can apply the frontier-evidence GC
+/// of `vstamp_core::gc` at every join, and `Workspace::compact` recycles
+/// the entire identity space whenever the sweep reaches a global sync point
+/// — the run below stays at 12 identity strings (one `{ε}`-tree leaf per
+/// site) for 40 epochs.
+fn long_partition_heal_run() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n--- long partition/heal run (12 sites, 40 epochs) ---");
+    let mut workspace = Workspace::new();
+    workspace.create("site-0", "survey.dat", "rev 0")?;
+    for site in 1..12 {
+        workspace.copy(&format!("site-{}", (site - 1) / 2), format!("site-{site}"))?;
+    }
+
+    let mut peak = 0usize;
+    let mut reclaimed = 0usize;
+    for epoch in 0..40usize {
+        // Three partitioned groups of four sites; membership rotates every
+        // ten epochs, like crews moving between field camps.
+        for group in 0..3usize {
+            let era = epoch / 10;
+            let site = |slot: usize| format!("site-{}", (group * 4 + slot + era) % 12);
+            for slot in 0..4 {
+                workspace.write(&site(slot), format!("rev {epoch}.{group}.{slot}"))?;
+            }
+            // Sync inside the group only — the groups are partitioned.
+            for slot in 1..4 {
+                if let SyncOutcome::Conflict(_) = workspace.synchronize(&site(0), &site(slot))? {
+                    workspace.resolve(&site(0), &site(slot), format!("merge {epoch}.{group}"))?;
+                }
+            }
+        }
+        peak = peak.max(workspace.identity_strings());
+        // Nightly anti-entropy sweep: the hub reconciles with every site
+        // twice, after which all copies have seen every write of the day…
+        for _ in 0..2 {
+            for k in 1..12 {
+                let to = format!("site-{k}");
+                if let SyncOutcome::Conflict(_) = workspace.synchronize("site-0", &to)? {
+                    workspace.resolve("site-0", &to, format!("nightly merge {epoch}"))?;
+                }
+            }
+        }
+        // …and the workspace recycles the identity space at the sync point.
+        reclaimed += workspace.compact();
+    }
+    println!("  peak identity strings during the day    : {peak}");
+    println!("  identity strings reclaimed by GC        : {reclaimed}");
+    println!("  final identity strings across 12 sites  : {}", workspace.identity_strings());
+    assert_eq!(
+        workspace.identity_strings(),
+        12,
+        "GC holds the long run at one identity string per site"
+    );
+    assert!(peak < 100, "join-point GC bounds even the partitioned day phases, got {peak}");
     Ok(())
 }
 

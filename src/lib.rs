@@ -38,9 +38,11 @@ pub use vstamp_sim as sim;
 
 pub use vstamp_baselines::{DottedVersionVector, ReplicaId, VectorClock, VersionVector};
 pub use vstamp_core::{
-    Bit, BitString, CausalHistory, Configuration, ElementId, Mechanism, Name, NameTree, Operation,
-    PackedName, PackedStamp, PackedStampMechanism, Reduction, Relation, SetStamp, Stamp, Trace,
-    VersionStamp,
+    Bit, BitString, CausalHistory, Configuration, Deferred, Eager, ElementId, FrontierEvidence,
+    FrontierGc, GcStampMechanism, Mechanism, Name, NameTree, NoReduce, Operation, PackedName,
+    PackedStamp, PackedStampMechanism, Reduction, ReductionPolicy, Relation, SetStamp,
+    SetStampMechanism, Stamp, StampMechanism, Trace, TreeStamp, TreeStampMechanism, VersionStamp,
+    VersionStampMechanism,
 };
 pub use vstamp_itc::ItcStamp;
 pub use vstamp_panasync::{FileCopy, Reconciliation, Workspace};

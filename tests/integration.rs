@@ -9,14 +9,14 @@ use vstamp::{
     Workspace,
 };
 use vstamp_baselines::{DynamicVersionVectorMechanism, FixedVersionVectorMechanism};
-use vstamp_core::{audit_configuration, causal::CausalMechanism, encode, TreeStampMechanism};
+use vstamp_core::{audit_configuration, causal::CausalMechanism, encode, VersionStampMechanism};
 use vstamp_itc::ItcMechanism;
 
 #[test]
 fn figure_scenarios_agree_across_every_crate() {
     for scenario in [figure1(), figure2()] {
         let causal = scenario.replay(CausalMechanism::new());
-        let stamps = scenario.replay(TreeStampMechanism::reducing());
+        let stamps = scenario.replay(VersionStampMechanism::reducing());
         let vv = scenario.replay(FixedVersionVectorMechanism::new());
         let itc = scenario.replay(ItcMechanism::new());
         for (a, b, expected) in causal.pairwise_relations() {
@@ -32,12 +32,14 @@ fn random_workloads_preserve_equivalence_and_invariants_end_to_end() {
     for seed in [1u64, 2, 3] {
         let trace =
             generate(&WorkloadSpec::new(400, 10, seed).with_mix(OperationMix::churn_heavy()));
-        // equivalence with the causal oracle through the facade
-        assert!(check_against_oracle(TreeStampMechanism::reducing(), &trace).is_exact());
+        // equivalence with the causal oracle through the facade — for the
+        // default policy and the frontier-GC policy
+        assert!(check_against_oracle(VersionStampMechanism::reducing(), &trace).is_exact());
+        assert!(check_against_oracle(VersionStampMechanism::frontier_gc(), &trace).is_exact());
         assert!(check_against_oracle(ItcMechanism::new(), &trace).is_exact());
         assert!(check_against_oracle(DynamicVersionVectorMechanism::new(), &trace).is_exact());
         // invariants audited on the final configuration
-        let mut config = Configuration::new(TreeStampMechanism::reducing());
+        let mut config = Configuration::new(VersionStampMechanism::reducing());
         config.apply_trace(&trace).unwrap();
         audit_configuration(&config).assert_ok();
     }
@@ -51,12 +53,12 @@ fn partition_heal_workload_runs_through_the_comparison_runner() {
     let trace = generate_partition_heal(3, 3, 3, 24, 99);
     let table = compare_mechanisms(MechanismSet::All, &trace);
     assert_eq!(table.rows().len(), 10);
-    // The packed representation must report exactly the same sizes as the
-    // boxed trie — same names, same wire format.
-    let tree_row = table.row("version-stamps").expect("tree row");
-    let packed_row = table.row("version-stamps-packed").expect("packed row");
-    assert_eq!(tree_row.mean_element_bits, packed_row.mean_element_bits);
-    assert_eq!(tree_row.max_element_bits, packed_row.max_element_bits);
+    // The GC policy must never report more space than eager reduction —
+    // same trace, strictly fewer identity strings.
+    let eager_row = table.row("version-stamps").expect("eager (default) row");
+    let gc_row = table.row("version-stamps-gc").expect("gc row");
+    assert!(gc_row.mean_element_bits <= eager_row.mean_element_bits);
+    assert!(gc_row.max_element_bits <= eager_row.max_element_bits);
     let stamps = table.row("version-stamps").expect("stamps row");
     let dynamic = table.row("dynamic-version-vectors").expect("dynamic vv row");
     // The qualitative claim of the evaluation: stamp size stays below the
@@ -70,7 +72,7 @@ fn stamps_survive_the_wire_between_replicas() {
     // is encoded, decoded, and the relations recomputed from the decoded
     // copies must be identical.
     let trace = generate(&WorkloadSpec::new(200, 8, 5));
-    let mut config = Configuration::new(TreeStampMechanism::reducing());
+    let mut config = Configuration::new(VersionStampMechanism::reducing());
     config.apply_trace(&trace).unwrap();
     let decoded: Vec<(ElementId, VersionStamp)> = config
         .iter()
@@ -146,7 +148,7 @@ fn trace_type_is_usable_from_downstream_code() {
     ]
     .into_iter()
     .collect();
-    let mut config = Configuration::new(TreeStampMechanism::reducing());
+    let mut config = Configuration::new(VersionStampMechanism::reducing());
     config.apply_trace(&trace).unwrap();
     assert_eq!(config.len(), 1);
     assert_eq!(config.mechanism().mechanism_name(), "version-stamps");
