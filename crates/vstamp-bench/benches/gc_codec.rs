@@ -1,0 +1,113 @@
+//! Benches for the PR 3 seams: the incremental GC-evidence cache (rebuild
+//! from raw stamps vs joining cached per-element footprints), the pooled
+//! `reduce_pair` scratch, and the two wire codecs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vstamp_core::codec::{BitTrieCodec, StampCodec, VarintCodec};
+use vstamp_core::gc::{stamp_footprint, FrontierEvidence};
+use vstamp_core::{Name, PackedName, VersionStamp};
+
+/// A fragmented frontier of `width` stamps: repeated partial sync cycles
+/// interleave identity ownership, the shape the GC evidence is built over.
+fn fragmented_frontier(width: usize) -> Vec<VersionStamp> {
+    let mut frontier = vec![VersionStamp::seed()];
+    while frontier.len() < width {
+        let victim = frontier.remove(0);
+        let (a, b) = victim.fork();
+        frontier.push(a.update());
+        frontier.push(b);
+    }
+    for round in 0..width {
+        let a = frontier.remove(round % frontier.len());
+        let index = (round * 7) % frontier.len();
+        let joined = frontier[index].join_non_reducing(&a).update();
+        let (x, y) = joined.fork();
+        frontier[index] = x;
+        frontier.push(y);
+    }
+    frontier
+}
+
+fn bench_evidence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc-evidence");
+    for width in [8usize, 32] {
+        let frontier = fragmented_frontier(width);
+        let footprints: Vec<Name> = frontier.iter().map(stamp_footprint).collect();
+        // The historical per-join path: convert and join every stamp's two
+        // components from scratch.
+        group.bench_with_input(
+            BenchmarkId::new("rebuild-from-stamps", width),
+            &frontier,
+            |bench, frontier| bench.iter(|| FrontierEvidence::from_stamps(frontier.iter())),
+        );
+        // The incremental path: footprints were cached when the elements
+        // entered the frontier; a join only joins them.
+        group.bench_with_input(
+            BenchmarkId::new("cached-footprints", width),
+            &footprints,
+            |bench, footprints| bench.iter(|| FrontierEvidence::from_footprints(footprints.iter())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduce_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce-scratch");
+    for width in [4usize, 16, 64] {
+        let frontier = fragmented_frontier(width);
+        let merged =
+            frontier.iter().skip(1).fold(frontier[0].clone(), |acc, s| acc.join_non_reducing(s));
+        let (update, id) = (merged.update_name().clone(), merged.id_name().clone());
+        // The mechanism hot loop: one reduction per reducing join. The
+        // thread-local scratch pool amortizes the six working vectors.
+        group.bench_with_input(
+            BenchmarkId::new("reduce-pair-pooled", width),
+            &(update, id),
+            |bench, (update, id)| bench.iter(|| PackedName::reduce_pair(update, id)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for width in [8usize, 32] {
+        let frontier = fragmented_frontier(width);
+        let stamp =
+            frontier.iter().skip(1).fold(frontier[0].clone(), |acc, s| acc.join_non_reducing(s));
+        let bit_bytes = BitTrieCodec.encode_stamp(&stamp);
+        let frame_bytes = VarintCodec.encode_stamp(&stamp);
+        group.bench_with_input(
+            BenchmarkId::new("bit-trie-encode", width),
+            &stamp,
+            |bench, stamp| bench.iter(|| BitTrieCodec.encode_stamp(black_box(stamp))),
+        );
+        group.bench_with_input(BenchmarkId::new("varint-encode", width), &stamp, |bench, stamp| {
+            bench.iter(|| VarintCodec.encode_stamp(black_box(stamp)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bit-trie-decode", width),
+            &bit_bytes,
+            |bench, bytes| {
+                bench.iter(|| {
+                    StampCodec::<PackedName>::decode_stamp(&BitTrieCodec, black_box(bytes))
+                        .expect("valid")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("varint-decode", width),
+            &frame_bytes,
+            |bench, bytes| {
+                bench.iter(|| {
+                    StampCodec::<PackedName>::decode_stamp(&VarintCodec, black_box(bytes))
+                        .expect("valid")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evidence, bench_reduce_scratch, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Machine-readable store benchmark: drives `vstamp-store` clusters through
+//! the partition/heal and churn scenarios of `vstamp_sim::store_sim` with
+//! every backend — version stamps with frontier GC, plain eager version
+//! stamps, and the dynamic version-vector baseline — recording
+//!
+//! * client-op throughput (sessions plus anti-entropy, wall clock),
+//! * the per-key metadata curve (mean bits per `(replica, key)` of element
+//!   plus sibling clocks, sampled every epoch),
+//! * the causal-oracle verdict (lost updates, false concurrency,
+//!   resurrections, convergence) — the acceptance gate, and
+//! * the quiescent-compaction effect,
+//!
+//! and writes `BENCH_STORE.json`. Run with
+//! `cargo run --release -p vstamp-bench --bin bench_store_json`. Set
+//! `VSTAMP_BENCH_SMOKE=1` to shrink to a seconds-scale smoke grid (CI runs
+//! that on every push).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vstamp_bench::{header, seed_from_args, smoke_mode};
+use vstamp_sim::store_sim::{run_store_sim, StoreSimReport, StoreSimSpec};
+use vstamp_store::{DynamicVvBackend, VstampBackend};
+
+struct Row {
+    scenario: &'static str,
+    report: StoreSimReport,
+    elapsed_secs: f64,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.report.sessions as f64 / self.elapsed_secs
+        }
+    }
+}
+
+fn run_all(scenario: &'static str, spec: &StoreSimSpec, rows: &mut Vec<Row>) {
+    println!(
+        "\n{scenario}: {} replicas, {} rounds x {} sessions, {} keys",
+        spec.replicas, spec.rounds, spec.ops_per_round, spec.keys
+    );
+    let mut push = |report: StoreSimReport, elapsed_secs: f64| {
+        println!(
+            "  {:<18} {:>9.0} ops/s  mean_key_bits={:>8.1}  lost={} false_conc={} resurrect={} converged={}",
+            report.backend,
+            if elapsed_secs == 0.0 { 0.0 } else { report.sessions as f64 / elapsed_secs },
+            report.metadata_curve.last().copied().unwrap_or(0.0),
+            report.lost_updates,
+            report.false_concurrency,
+            report.resurrections,
+            report.converged,
+        );
+        rows.push(Row { scenario, report, elapsed_secs });
+    };
+    let start = Instant::now();
+    let report = run_store_sim(VstampBackend::gc(), spec);
+    push(report, start.elapsed().as_secs_f64());
+    let start = Instant::now();
+    let report = run_store_sim(VstampBackend::eager(), spec);
+    push(report, start.elapsed().as_secs_f64());
+    let start = Instant::now();
+    let report = run_store_sim(DynamicVvBackend::new(), spec);
+    push(report, start.elapsed().as_secs_f64());
+}
+
+fn row_json(row: &Row) -> String {
+    let report = &row.report;
+    let mut out = String::new();
+    write!(
+        out,
+        "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"sessions\": {}, \"writes\": {}, \"elapsed_secs\": {:.4}, \"ops_per_sec\": {:.1}, \"lost_updates\": {}, \"false_concurrency\": {}, \"resurrections\": {}, \"converged\": {}, \"keys_recycled\": {}, \"final_mean_key_metadata_bits\": {:.2}, \"final_max_key_metadata_bits\": {}, \"max_siblings\": {}, \"metadata_curve\": [",
+        row.scenario,
+        report.backend,
+        report.sessions,
+        report.writes,
+        row.elapsed_secs,
+        row.ops_per_sec(),
+        report.lost_updates,
+        report.false_concurrency,
+        report.resurrections,
+        report.converged,
+        report.keys_recycled,
+        report.final_metrics.mean_key_metadata_bits,
+        report.final_metrics.max_key_metadata_bits,
+        report.final_metrics.max_siblings,
+    )
+    .expect("writing to a String cannot fail");
+    for (i, point) in report.metadata_curve.iter().enumerate() {
+        let comma = if i + 1 == report.metadata_curve.len() { "" } else { ", " };
+        write!(out, "{point:.1}{comma}").expect("writing to a String cannot fail");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let smoke = smoke_mode();
+    println!("seed = {seed}{}", if smoke { " (smoke grid)" } else { "" });
+
+    header("vstamp-store — backend comparison (causal KV, anti-entropy)");
+    let mut rows = Vec::new();
+
+    let partition = if smoke {
+        StoreSimSpec::partition_heal(4, 6, seed)
+    } else {
+        StoreSimSpec::partition_heal(8, 16, seed)
+    };
+    run_all("partition-heal", &partition, &mut rows);
+
+    let churn =
+        if smoke { StoreSimSpec::churn(3, 8, seed) } else { StoreSimSpec::churn(6, 24, seed) };
+    run_all("churn", &churn, &mut rows);
+
+    let exact = rows.iter().all(|row| row.report.is_exact());
+    println!("\nall runs causally exact and converged: {exact}");
+
+    // Headline: per-key metadata of stamps (GC) vs the dynamic-VV baseline.
+    let gc_bits: f64 = rows
+        .iter()
+        .filter(|r| r.report.backend == "version-stamps-gc")
+        .filter_map(|r| r.report.metadata_curve.last().copied())
+        .sum();
+    let vv_bits: f64 = rows
+        .iter()
+        .filter(|r| r.report.backend == "dynamic-vv")
+        .filter_map(|r| r.report.metadata_curve.last().copied())
+        .sum();
+    if vv_bits > 0.0 {
+        println!(
+            "final per-key metadata, version-stamps-gc vs dynamic-vv: {:.1} vs {:.1} bits ({:.2}x)",
+            gc_bits,
+            vv_bits,
+            vv_bits / gc_bits.max(1.0)
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"vstamp-store\",\n");
+    writeln!(json, "  \"seed\": {seed},").expect("writing to a String cannot fail");
+    writeln!(json, "  \"smoke\": {smoke},").expect("writing to a String cannot fail");
+    writeln!(json, "  \"all_exact\": {exact},").expect("writing to a String cannot fail");
+    json.push_str("  \"results\": [\n");
+    let encoded: Vec<String> = rows.iter().map(row_json).collect();
+    json.push_str(&encoded.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_STORE.json", &json).expect("write BENCH_STORE.json");
+    println!("wrote BENCH_STORE.json");
+
+    assert!(exact, "store benchmark must be causally exact — see the report above");
+}

@@ -236,66 +236,6 @@ pub fn decode_tree(bytes: &[u8]) -> Result<NameTree, DecodeError> {
     Ok(tree)
 }
 
-fn write_packed(name: &PackedName, writer: &mut BitWriter) {
-    // The tag array is the wire format: Empty ↦ 0, Elem ↦ 10, Node ↦ 11,
-    // already in preorder — one linear pass, no tree walk.
-    for i in 0..name.node_count() {
-        match name.tag(i) {
-            0 => writer.push(Bit::Zero),
-            1 => {
-                writer.push(Bit::One);
-                writer.push(Bit::Zero);
-            }
-            _ => {
-                writer.push(Bit::One);
-                writer.push(Bit::One);
-            }
-        }
-    }
-}
-
-fn read_packed(reader: &mut BitReader<'_>) -> Result<PackedName, DecodeError> {
-    let mut tags: Vec<u8> = Vec::new();
-    // One frame per open interior node: (children still missing, whether
-    // every child so far was empty) — used to reject non-canonical input.
-    let mut frames: Vec<(u8, bool)> = Vec::new();
-    loop {
-        let tag = match reader.read()? {
-            Bit::Zero => 0u8,
-            Bit::One => match reader.read()? {
-                Bit::Zero => 1,
-                Bit::One => 2,
-            },
-        };
-        tags.push(tag);
-        if tag == 2 {
-            frames.push((2, true));
-            continue;
-        }
-        // A subtree just completed; propagate completions upwards.
-        let mut is_empty = tag == 0;
-        loop {
-            match frames.last_mut() {
-                None => return Ok(crate::packed::from_raw_tags(&tags)),
-                Some(frame) => {
-                    frame.0 -= 1;
-                    frame.1 &= is_empty;
-                    if frame.0 > 0 {
-                        break;
-                    }
-                    if frame.1 {
-                        return Err(DecodeError::Malformed(
-                            "interior node with two empty children",
-                        ));
-                    }
-                    frames.pop();
-                    is_empty = false;
-                }
-            }
-        }
-    }
-}
-
 /// Number of bits the encoding of a packed name occupies — O(n) over the
 /// tag array, no tree walk.
 #[must_use]
@@ -311,11 +251,13 @@ pub fn encoded_packed_stamp_bits(stamp: &PackedStamp) -> usize {
 
 /// Encodes a packed name into packed bytes. The output is byte-for-byte
 /// identical to [`encode_tree`] on the equivalent trie.
+///
+/// Since the codec-seam refactor this delegates to
+/// [`BitTrieCodec`](crate::codec::BitTrieCodec); it is kept as the
+/// historical entry point of the space experiments.
 #[must_use]
 pub fn encode_packed(name: &PackedName) -> Vec<u8> {
-    let mut writer = BitWriter::new();
-    write_packed(name, &mut writer);
-    writer.into_bytes()
+    crate::codec::StampCodec::<PackedName>::encode_name(&crate::codec::BitTrieCodec, name)
 }
 
 /// Decodes a packed name from bytes produced by [`encode_packed`] (or
@@ -325,20 +267,14 @@ pub fn encode_packed(name: &PackedName) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on truncated, malformed or trailing input.
 pub fn decode_packed(bytes: &[u8]) -> Result<PackedName, DecodeError> {
-    let mut reader = BitReader::new(bytes);
-    let name = read_packed(&mut reader)?;
-    reader.finish()?;
-    Ok(name)
+    crate::codec::StampCodec::<PackedName>::decode_name(&crate::codec::BitTrieCodec, bytes)
 }
 
 /// Encodes a packed stamp (update then id) into packed bytes; the wire
 /// format is identical to [`encode_stamp`] on the equivalent stamp.
 #[must_use]
 pub fn encode_packed_stamp(stamp: &PackedStamp) -> Vec<u8> {
-    let mut writer = BitWriter::new();
-    write_packed(stamp.update_name(), &mut writer);
-    write_packed(stamp.id_name(), &mut writer);
-    writer.into_bytes()
+    crate::codec::StampCodec::<PackedName>::encode_stamp(&crate::codec::BitTrieCodec, stamp)
 }
 
 /// Decodes a packed stamp from bytes produced by [`encode_packed_stamp`]
@@ -349,12 +285,7 @@ pub fn encode_packed_stamp(stamp: &PackedStamp) -> Vec<u8> {
 /// Returns a [`DecodeError`] on truncated, malformed or trailing input, or
 /// when the decoded pair violates the stamp well-formedness conditions.
 pub fn decode_packed_stamp(bytes: &[u8]) -> Result<PackedStamp, DecodeError> {
-    let mut reader = BitReader::new(bytes);
-    let update = read_packed(&mut reader)?;
-    let id = read_packed(&mut reader)?;
-    reader.finish()?;
-    PackedStamp::from_parts(update, id)
-        .map_err(|_| DecodeError::Malformed("decoded pair is not a valid stamp"))
+    crate::codec::StampCodec::<PackedName>::decode_stamp(&crate::codec::BitTrieCodec, bytes)
 }
 
 /// Encodes a name into packed bytes (via its trie form).

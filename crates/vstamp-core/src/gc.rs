@@ -103,6 +103,25 @@ impl FrontierEvidence {
         FrontierEvidence { footprint }
     }
 
+    /// Builds the evidence from per-element footprints computed earlier
+    /// with [`stamp_footprint`].
+    ///
+    /// This is the incremental path [`FrontierGc`] uses: each element's
+    /// footprint is converted and joined **once**, when the element enters
+    /// the frontier, instead of twice per element on *every* join as
+    /// [`FrontierEvidence::from_stamps`] does (the `gc-evidence` criterion
+    /// group in `vstamp-bench` records the delta).
+    pub fn from_footprints<'a, I>(others: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Name>,
+    {
+        let mut footprint = Name::empty();
+        for other in others {
+            footprint = footprint.join(other);
+        }
+        FrontierEvidence { footprint }
+    }
+
     /// Returns `true` when the rest of the frontier blocks a collapse at
     /// `s`: some other element holds a string extending `s`.
     ///
@@ -241,6 +260,32 @@ pub fn shrink_to_covers<N: NameLike>(stamp: &Stamp<N>) -> Stamp<N> {
     Stamp::from_parts_unchecked(N::from_name(&update), N::from_name(&keep))
 }
 
+/// The joined update-and-id footprint of one stamp — the quantity
+/// [`FrontierEvidence`] aggregates over the rest of the frontier.
+///
+/// For a well-formed stamp (I1: `update ⊑ id`) this equals the id's name
+/// alone, but the join is kept so evidence stays conservative even for
+/// unchecked stamps.
+#[must_use]
+pub fn stamp_footprint<N: NameLike>(stamp: &Stamp<N>) -> Name {
+    stamp.update_name().to_name().join(&stamp.id_name().to_name())
+}
+
+/// One mirrored frontier element of [`FrontierGc`]: the stamp plus its
+/// cached [`stamp_footprint`], computed once when the element entered the
+/// frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LiveStamp<N: NameLike> {
+    stamp: Stamp<N>,
+    footprint: Name,
+}
+
+impl<N: NameLike> LiveStamp<N> {
+    fn new(stamp: &Stamp<N>) -> Self {
+        LiveStamp { footprint: stamp_footprint(stamp), stamp: stamp.clone() }
+    }
+}
+
 /// The frontier-evidence GC policy: eager Section-6 reduction after every
 /// join, followed by an identity [`collapse`] justified by a mirror of the
 /// live frontier, followed by [`shrink_to_covers`].
@@ -252,9 +297,15 @@ pub fn shrink_to_covers<N: NameLike>(stamp: &Stamp<N>) -> Stamp<N> {
 /// `initial`/`update`/`fork`/`join`). If the mechanism is fed elements it
 /// never produced, the mirror cannot match; the policy then *degrades* to
 /// plain eager reduction rather than collapse on bad evidence.
+///
+/// The mirror caches each element's evidence footprint incrementally (one
+/// representation conversion and join per element *lifetime*); a join only
+/// joins the cached footprints of the surviving elements instead of
+/// rebuilding the evidence from raw stamps (the ROADMAP
+/// `FrontierEvidence::from_stamps`-per-join hot spot).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrontierGc<N: NameLike> {
-    live: Vec<Stamp<N>>,
+    live: Vec<LiveStamp<N>>,
     degraded: bool,
 }
 
@@ -272,9 +323,8 @@ impl<N: NameLike> FrontierGc<N> {
     }
 
     /// The mirrored live frontier (diagnostics and tests).
-    #[must_use]
-    pub fn live(&self) -> &[Stamp<N>] {
-        &self.live
+    pub fn live(&self) -> impl ExactSizeIterator<Item = &Stamp<N>> {
+        self.live.iter().map(|entry| &entry.stamp)
     }
 
     /// Returns `true` when the mirror lost track of the frontier and the
@@ -288,7 +338,7 @@ impl<N: NameLike> FrontierGc<N> {
     /// policy if it is not there. Live stamps are pairwise distinct (their
     /// ids are non-empty and disjoint by I2), so value identity is exact.
     fn retire(&mut self, stamp: &Stamp<N>) {
-        match self.live.iter().position(|s| s == stamp) {
+        match self.live.iter().position(|entry| &entry.stamp == stamp) {
             Some(index) => {
                 self.live.swap_remove(index);
             }
@@ -304,19 +354,19 @@ impl<N: NameLike> ReductionPolicy<N> for FrontierGc<N> {
 
     fn on_initial(&mut self, seed: &Stamp<N>) {
         self.live.clear();
-        self.live.push(seed.clone());
+        self.live.push(LiveStamp::new(seed));
         self.degraded = false;
     }
 
     fn on_update(&mut self, old: &Stamp<N>, new: &Stamp<N>) {
         self.retire(old);
-        self.live.push(new.clone());
+        self.live.push(LiveStamp::new(new));
     }
 
     fn on_fork(&mut self, old: &Stamp<N>, left: &Stamp<N>, right: &Stamp<N>) {
         self.retire(old);
-        self.live.push(left.clone());
-        self.live.push(right.clone());
+        self.live.push(LiveStamp::new(left));
+        self.live.push(LiveStamp::new(right));
     }
 
     fn join(&mut self, left: &Stamp<N>, right: &Stamp<N>) -> Stamp<N> {
@@ -326,10 +376,11 @@ impl<N: NameLike> ReductionPolicy<N> for FrontierGc<N> {
         let result = if self.degraded {
             joined
         } else {
-            let evidence = FrontierEvidence::from_stamps(self.live.iter());
+            let evidence =
+                FrontierEvidence::from_footprints(self.live.iter().map(|entry| &entry.footprint));
             shrink_to_covers(&collapse(&joined, &evidence))
         };
-        self.live.push(result.clone());
+        self.live.push(LiveStamp::new(&result));
         result
     }
 }

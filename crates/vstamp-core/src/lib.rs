@@ -51,7 +51,8 @@
 //! | [`mechanism`], [`config`] | §2/§4 | the transition system and the mechanism seam |
 //! | [`invariants`] | §4 (I1–I3) | executable invariants and the frontier auditor |
 //! | [`relation`] | §2 | equivalent / obsolete / concurrent classification |
-//! | [`encode`] | — | compact wire encoding and the space metric |
+//! | [`encode`] | — | the paper's compact bit encoding and the space metric |
+//! | [`codec`] | — | the codec seam: bit-trie + byte-aligned varint wire formats, framing |
 //!
 //! The companion crates build on this one: `vstamp-baselines` (version
 //! vectors, vector clocks, dotted version vectors), `vstamp-itc` (Interval
@@ -74,6 +75,7 @@
 
 pub mod bitstring;
 pub mod causal;
+pub mod codec;
 pub mod config;
 pub mod encode;
 pub mod error;
@@ -91,6 +93,7 @@ pub mod tree;
 
 pub use bitstring::{Bit, BitString, ParseBitStringError, PrefixOrdering};
 pub use causal::{CausalHistory, CausalMechanism, EventId};
+pub use codec::{BitTrieCodec, StampCodec, VarintCodec};
 pub use config::{Applied, Configuration, ElementId, Operation, Trace};
 pub use error::{ConfigError, DecodeError, StampError};
 pub use gc::{FrontierEvidence, FrontierGc};

@@ -7,6 +7,7 @@
 //! ablation bench compares the three.
 
 use crate::bitstring::Bit;
+use crate::error::DecodeError;
 use crate::name::Name;
 use crate::packed::PackedName;
 use crate::relation::Relation;
@@ -81,6 +82,105 @@ pub trait NameLike: Clone + Eq + core::fmt::Debug + core::fmt::Display + private
     fn relation(&self, other: &Self) -> Relation {
         Relation::from_leq(self.leq(other), other.leq(self))
     }
+
+    /// Number of nodes in the canonical binary-trie form of the name — the
+    /// length of its preorder tag stream.
+    fn tag_count(&self) -> usize;
+
+    /// Visits the canonical preorder trie tags of the name (`0 = Empty`,
+    /// `1 = Elem`, `2 = Node`) — the representation-independent substrate
+    /// the wire codecs of [`crate::codec`] are built on.
+    fn visit_tags(&self, visit: &mut dyn FnMut(u8));
+
+    /// Appends the preorder trie tags packed four 2-bit tags per byte
+    /// (little-endian within each byte, zero-padded) — the payload layout
+    /// of the byte-aligned [`VarintCodec`](crate::codec::VarintCodec).
+    fn write_packed_tags(&self, out: &mut Vec<u8>) {
+        let mut count = 0usize;
+        self.visit_tags(&mut |tag| {
+            if count % 4 == 0 {
+                out.push(0);
+            }
+            let last = out.len() - 1;
+            out[last] |= tag << ((count % 4) * 2);
+            count += 1;
+        });
+    }
+
+    /// Builds a name from `tag_count` packed 2-bit preorder trie tags (the
+    /// layout written by [`NameLike::write_packed_tags`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the tags do not describe exactly one
+    /// canonical trie: wrong byte length, reserved tag value, structural
+    /// under/overrun, an interior node with two empty children, or set
+    /// padding bits.
+    fn from_packed_tags(bytes: &[u8], tag_count: usize) -> Result<Self, DecodeError>;
+}
+
+/// Checks that `len` packed 2-bit tags in `bytes` describe exactly one
+/// canonical preorder trie (see [`NameLike::from_packed_tags`] for the
+/// rejected shapes).
+pub(crate) fn validate_packed_tags(bytes: &[u8], len: usize) -> Result<(), DecodeError> {
+    if bytes.len() != len.div_ceil(4) {
+        return Err(if bytes.len() < len.div_ceil(4) {
+            DecodeError::UnexpectedEnd
+        } else {
+            DecodeError::TrailingData
+        });
+    }
+    if len == 0 {
+        return Err(DecodeError::Malformed("empty tag stream"));
+    }
+    if len % 4 != 0 && bytes[len / 4] >> ((len % 4) * 2) != 0 {
+        return Err(DecodeError::TrailingData);
+    }
+    // One frame per open interior node: (children still missing, whether
+    // every completed child so far was empty) — the same canonicality walk
+    // as the bit-trie decoder.
+    let mut frames: Vec<(u8, bool)> = Vec::new();
+    let mut complete = false;
+    for index in 0..len {
+        if complete {
+            return Err(DecodeError::TrailingData);
+        }
+        let tag = (bytes[index / 4] >> ((index % 4) * 2)) & 0b11;
+        if tag == 3 {
+            return Err(DecodeError::Malformed("reserved tag value"));
+        }
+        if tag == 2 {
+            frames.push((2, true));
+            continue;
+        }
+        let mut is_empty = tag == 0;
+        loop {
+            match frames.last_mut() {
+                None => {
+                    complete = true;
+                    break;
+                }
+                Some(frame) => {
+                    frame.0 -= 1;
+                    frame.1 &= is_empty;
+                    if frame.0 > 0 {
+                        break;
+                    }
+                    if frame.1 {
+                        return Err(DecodeError::Malformed(
+                            "interior node with two empty children",
+                        ));
+                    }
+                    frames.pop();
+                    is_empty = false;
+                }
+            }
+        }
+    }
+    if !complete {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    Ok(())
 }
 
 impl NameLike for Name {
@@ -140,6 +240,41 @@ impl NameLike for Name {
 
     fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
         crate::simplify::reduce_name_pair(update, id)
+    }
+
+    fn tag_count(&self) -> usize {
+        let mut count = 0usize;
+        self.visit_tags(&mut |_| count += 1);
+        count
+    }
+
+    fn visit_tags(&self, visit: &mut dyn FnMut(u8)) {
+        // Radix partition of the sorted antichain, exactly as in
+        // `PackedName::from_name` — the sorted string order is the preorder
+        // leaf order of the trie, so no trie is materialized.
+        let strings: Vec<&crate::bitstring::BitString> = self.iter().collect();
+        let mut frames: Vec<(usize, usize, usize)> = vec![(0, strings.len(), 0)];
+        while let Some((start, end, depth)) = frames.pop() {
+            if start == end {
+                visit(0);
+                continue;
+            }
+            if end - start == 1 && strings[start].len() == depth {
+                visit(1);
+                continue;
+            }
+            visit(2);
+            let split = strings[start..end]
+                .iter()
+                .position(|s| s.get(depth) == Some(Bit::One))
+                .map_or(end, |p| start + p);
+            frames.push((split, end, depth + 1));
+            frames.push((start, split, depth + 1));
+        }
+    }
+
+    fn from_packed_tags(bytes: &[u8], tag_count: usize) -> Result<Self, DecodeError> {
+        Ok(PackedName::from_packed_tags(bytes, tag_count)?.to_name())
     }
 }
 
@@ -201,6 +336,29 @@ impl NameLike for NameTree {
     fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
         NameTree::reduce_pair(update, id)
     }
+
+    fn tag_count(&self) -> usize {
+        NameTree::node_count(self)
+    }
+
+    fn visit_tags(&self, visit: &mut dyn FnMut(u8)) {
+        let mut stack: Vec<&NameTree> = vec![self];
+        while let Some(tree) = stack.pop() {
+            match tree {
+                NameTree::Empty => visit(0),
+                NameTree::Elem => visit(1),
+                NameTree::Node(zero, one) => {
+                    visit(2);
+                    stack.push(one);
+                    stack.push(zero);
+                }
+            }
+        }
+    }
+
+    fn from_packed_tags(bytes: &[u8], tag_count: usize) -> Result<Self, DecodeError> {
+        Ok(NameTree::from_name(&PackedName::from_packed_tags(bytes, tag_count)?.to_name()))
+    }
 }
 
 impl NameLike for PackedName {
@@ -260,6 +418,26 @@ impl NameLike for PackedName {
 
     fn reduce_pair(update: &Self, id: &Self) -> (Self, Self) {
         PackedName::reduce_pair(update, id)
+    }
+
+    fn tag_count(&self) -> usize {
+        PackedName::node_count(self)
+    }
+
+    fn visit_tags(&self, visit: &mut dyn FnMut(u8)) {
+        for i in 0..self.node_count() {
+            visit(self.tag(i));
+        }
+    }
+
+    fn write_packed_tags(&self, out: &mut Vec<u8>) {
+        // The in-memory tag array *is* the wire payload: one memcpy.
+        out.extend_from_slice(self.tag_bytes());
+    }
+
+    fn from_packed_tags(bytes: &[u8], tag_count: usize) -> Result<Self, DecodeError> {
+        validate_packed_tags(bytes, tag_count)?;
+        Ok(PackedName::from_packed_tag_bytes(bytes, tag_count))
     }
 }
 

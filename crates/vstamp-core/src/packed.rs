@@ -339,11 +339,14 @@ impl TagsView<'_> {
 
     /// `ends[i]` = one past the end of the subtree rooted at `i`, for every
     /// node — one forward pass, so spine-shaped trees cost O(n) instead of
-    /// the O(n²) of repeated [`TagsView::subtree_end`] scans.
-    fn subtree_ends(&self) -> Vec<u32> {
-        let mut ends = vec![0u32; self.len];
+    /// the O(n²) of repeated [`TagsView::subtree_end`] scans. Fills the
+    /// caller-provided buffers so the mechanism hot loop can reuse their
+    /// allocations across calls (see [`ReduceScratch`]).
+    fn subtree_ends_into(&self, ends: &mut Vec<u32>, open: &mut Vec<(u32, u8)>) {
+        ends.clear();
+        ends.resize(self.len, 0u32);
         // Open interior nodes: (index, children still missing).
-        let mut open: Vec<(u32, u8)> = Vec::new();
+        open.clear();
         for i in 0..self.len {
             if self.tag(i) == NODE {
                 open.push((i as u32, 2));
@@ -362,7 +365,6 @@ impl TagsView<'_> {
                 open.pop();
             }
         }
-        ends
     }
 }
 
@@ -463,6 +465,27 @@ impl PackedName {
     /// Raw tag accessor for the encoder; `0 = Empty`, `1 = Elem`, `2 = Node`.
     pub(crate) fn tag(&self, index: usize) -> u8 {
         self.tags.get(index)
+    }
+
+    /// The packed 2-bit tag bytes (four tags per byte, zero-padded tail) —
+    /// the in-memory layout doubles as the byte-aligned wire payload.
+    pub(crate) fn tag_bytes(&self) -> &[u8] {
+        self.tags.bytes()
+    }
+
+    /// Builds a name by copying already-validated packed tag bytes directly
+    /// into the tag array — the allocation-light decode path of the
+    /// byte-aligned codec (no per-tag pushes, no trie round-trip).
+    pub(crate) fn from_packed_tag_bytes(bytes: &[u8], tag_count: usize) -> PackedName {
+        debug_assert_eq!(bytes.len(), tag_count.div_ceil(TAGS_PER_BYTE));
+        let mut tags = TagVec::new();
+        if bytes.len() <= INLINE_BYTES {
+            tags.inline[..bytes.len()].copy_from_slice(bytes);
+        } else {
+            tags.heap = bytes.to_vec();
+        }
+        tags.len = tag_count as u32;
+        PackedName::from_tags(tags)
     }
 
     /// Index one past the end of the subtree rooted at `start`.
@@ -892,20 +915,39 @@ impl PackedName {
     /// ```
     #[must_use]
     pub fn reduce_pair(update: &PackedName, id: &PackedName) -> (PackedName, PackedName) {
+        // The scratch buffers are arena-pooled per thread: `reduce_pair`
+        // runs after every reducing join, and rebuilding its six working
+        // vectors from scratch dominated the small-stamp hot path (see the
+        // `reduce-scratch` criterion group in `vstamp-bench`).
+        REDUCE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            PackedName::reduce_pair_with(update, id, &mut scratch)
+        })
+    }
+
+    /// [`PackedName::reduce_pair`] against caller-owned scratch buffers
+    /// (the thread-local pool is a wrapper around this).
+    fn reduce_pair_with(
+        update: &PackedName,
+        id: &PackedName,
+        scratch: &mut ReduceScratch,
+    ) -> (PackedName, PackedName) {
         let uv = update.tags.view();
         let iv = id.tags.view();
+        let ReduceScratch { u_ends, i_ends, open, rev_u, rev_i, boundaries, tasks } = scratch;
         // Subtree ends, precomputed in one pass each: the machine needs the
         // start of every `one` child, and deriving it by scanning the
         // sibling subtree would be quadratic on spine-shaped identities.
-        let u_ends = uv.subtree_ends();
-        let i_ends = iv.subtree_ends();
+        uv.subtree_ends_into(u_ends, open);
+        iv.subtree_ends_into(i_ends, open);
         // Reversed-preorder output buffers (one byte per tag while under
         // construction, packed at the end).
-        let mut rev_u: Vec<u8> = Vec::with_capacity(update.tags.len());
-        let mut rev_i: Vec<u8> = Vec::with_capacity(id.tags.len());
+        rev_u.clear();
+        rev_i.clear();
         // Marks recorded between the two child visits of each Combine.
-        let mut boundaries: Vec<(usize, usize)> = Vec::new();
-        let mut tasks: Vec<Task> = vec![Task::Visit { ui: Some(0), ii: 0, emit_u: true }];
+        boundaries.clear();
+        tasks.clear();
+        tasks.push(Task::Visit { ui: Some(0), ii: 0, emit_u: true });
 
         while let Some(task) = tasks.pop() {
             match task {
@@ -963,9 +1005,9 @@ impl PackedName {
                     let seg_is =
                         |buf: &[u8], lo: usize, hi: usize, tag: u8| hi - lo == 1 && buf[lo] == tag;
                     let i_len = rev_i.len();
-                    let collapse = seg_is(&rev_i, mi, bi, ELEM) && seg_is(&rev_i, bi, i_len, ELEM);
+                    let collapse = seg_is(rev_i, mi, bi, ELEM) && seg_is(rev_i, bi, i_len, ELEM);
                     let i_vanishes =
-                        seg_is(&rev_i, mi, bi, EMPTY) && seg_is(&rev_i, bi, i_len, EMPTY);
+                        seg_is(rev_i, mi, bi, EMPTY) && seg_is(rev_i, bi, i_len, EMPTY);
                     if collapse {
                         rev_i.truncate(mi);
                         rev_i.push(ELEM);
@@ -981,9 +1023,9 @@ impl PackedName {
                         CombineKind::UpdateNode => {
                             let u_len = rev_u.len();
                             let u_elem =
-                                seg_is(&rev_u, mu, bu, ELEM) || seg_is(&rev_u, bu, u_len, ELEM);
+                                seg_is(rev_u, mu, bu, ELEM) || seg_is(rev_u, bu, u_len, ELEM);
                             let u_vanishes =
-                                seg_is(&rev_u, mu, bu, EMPTY) && seg_is(&rev_u, bu, u_len, EMPTY);
+                                seg_is(rev_u, mu, bu, EMPTY) && seg_is(rev_u, bu, u_len, EMPTY);
                             if collapse && u_elem {
                                 rev_u.truncate(mu);
                                 rev_u.push(ELEM);
@@ -1011,7 +1053,7 @@ impl PackedName {
             }
             PackedName::from_tags(tags)
         };
-        (pack(&rev_u), pack(&rev_i))
+        (pack(rev_u), pack(rev_i))
     }
 }
 
@@ -1023,6 +1065,27 @@ enum Task {
     Boundary,
     /// Combine the two child results into this node's result.
     Combine { kind: CombineKind, mu: usize, mi: usize, emit_u: bool },
+}
+
+/// The working vectors of the `reduce_pair` stack machine, pooled per
+/// thread so the mechanism hot loop (one reduction per reducing join)
+/// reuses their allocations instead of paying six `Vec` growth cycles per
+/// call. Buffers are cleared, never shrunk: after warm-up a reduction of
+/// any already-seen size allocates nothing but its two output tag arrays.
+#[derive(Default)]
+struct ReduceScratch {
+    u_ends: Vec<u32>,
+    i_ends: Vec<u32>,
+    open: Vec<(u32, u8)>,
+    rev_u: Vec<u8>,
+    rev_i: Vec<u8>,
+    boundaries: Vec<(usize, usize)>,
+    tasks: Vec<Task>,
+}
+
+thread_local! {
+    static REDUCE_SCRATCH: core::cell::RefCell<ReduceScratch> =
+        core::cell::RefCell::new(ReduceScratch::default());
 }
 
 enum CombineKind {
@@ -1076,19 +1139,6 @@ impl FromStr for PackedName {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Ok(PackedName::from_name(&s.parse::<Name>()?))
     }
-}
-
-/// Builds a [`PackedName`] directly from raw decoder output.
-///
-/// Internal seam for [`crate::encode`]: `tags` must describe a canonical
-/// preorder trie (`0 = Empty`, `1 = Elem`, `2 = Node`), as validated by the
-/// decoder.
-pub(crate) fn from_raw_tags(raw: &[u8]) -> PackedName {
-    let mut tags = TagVec::with_tag_capacity(raw.len());
-    for &tag in raw {
-        tags.push(tag);
-    }
-    PackedName::from_tags(tags)
 }
 
 #[cfg(test)]

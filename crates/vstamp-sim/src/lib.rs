@@ -17,6 +17,9 @@
 //!   report);
 //! * [`runner`] — a parallel comparison runner covering every mechanism in
 //!   the workspace;
+//! * [`store_sim`] — the `vstamp-store` scenario: N store replicas under
+//!   partition/heal and churn, checked against a causal oracle built from
+//!   the session structure (lost updates, false concurrency);
 //! * [`viz`] — Graphviz (DOT) export of evolution DAGs, for rendering the
 //!   reproduction's counterparts of the paper's figures.
 //!
@@ -38,6 +41,7 @@ pub mod metrics;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
+pub mod store_sim;
 pub mod viz;
 pub mod workload;
 
@@ -47,6 +51,7 @@ pub use metrics::{
 pub use oracle::{check_against_oracle, AgreementReport, Disagreement};
 pub use runner::{compare_mechanisms, MechanismSet};
 pub use scenario::{figure1, figure2, figure3, figure4, stamp_walkthrough, Scenario};
+pub use store_sim::{run_store_sim, StoreSimReport, StoreSimSpec};
 pub use workload::{
     generate, generate_fixed_population, generate_partition_heal, OperationMix, WorkloadSpec,
 };

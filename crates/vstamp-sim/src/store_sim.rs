@@ -1,0 +1,403 @@
+//! Store-level simulation: drives an N-replica `vstamp-store` cluster
+//! through partition/heal and churn workloads and checks every read and the
+//! converged end state against a **causal oracle** built from the actual
+//! session structure.
+//!
+//! Every simulated write stores its unique put id as the value and records
+//! the ids it causally follows (the sibling values its session read). The
+//! oracle is thus the exact happens-before DAG of the run, independent of
+//! any clock mechanism, and two violation classes are counted:
+//!
+//! * **false concurrency** — a read returns two sibling values where one
+//!   causally covers the other (the clock failed to supersede);
+//! * **lost updates** — after healing and full anti-entropy, a causally
+//!   maximal write is missing from the converged sibling set (the clock
+//!   superseded something it should not have), plus the dual
+//!   **resurrections** (an obsolete version survived).
+//!
+//! Both backends — version stamps (eager or GC) and the dynamic-VV
+//! baseline — are driven through the identical deterministic schedule, so
+//! the reports are directly comparable (`bench_store_json` records them).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vstamp_store::{Cluster, StoreBackend, StoreMetrics};
+
+/// Parameters of a store simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSimSpec {
+    /// Number of store replicas.
+    pub replicas: usize,
+    /// Number of shards per replica.
+    pub shards: usize,
+    /// Number of distinct keys the workload touches.
+    pub keys: usize,
+    /// Number of epochs.
+    pub rounds: usize,
+    /// Client sessions (get → put) per epoch.
+    pub ops_per_round: usize,
+    /// Initial partition islands; one heals into another after every
+    /// `rounds / islands` epochs until the cluster is whole.
+    pub islands: usize,
+    /// Probability (percent) that a session deletes instead of writing.
+    pub delete_percent: u32,
+    /// Probability (percent) that a session uses a stale context (an
+    /// earlier read at the same replica), creating genuine siblings.
+    pub stale_percent: u32,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl StoreSimSpec {
+    /// The partition/heal scenario: islands that merge over time.
+    #[must_use]
+    pub fn partition_heal(replicas: usize, rounds: usize, seed: u64) -> Self {
+        StoreSimSpec {
+            replicas,
+            shards: 4,
+            keys: 12,
+            rounds,
+            ops_per_round: 24,
+            islands: replicas.clamp(1, 3),
+            delete_percent: 5,
+            stale_percent: 20,
+            seed,
+        }
+    }
+
+    /// The churn scenario: no partitions, constant all-to-all gossip, many
+    /// concurrent writers per key.
+    #[must_use]
+    pub fn churn(replicas: usize, rounds: usize, seed: u64) -> Self {
+        StoreSimSpec {
+            replicas,
+            shards: 4,
+            keys: 6,
+            rounds,
+            ops_per_round: 30,
+            islands: 1,
+            delete_percent: 10,
+            stale_percent: 35,
+            seed,
+        }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSimReport {
+    /// Backend label.
+    pub backend: &'static str,
+    /// Total client sessions performed.
+    pub sessions: usize,
+    /// Total writes (puts + deletes).
+    pub writes: usize,
+    /// Sibling pairs returned by reads where one causally covers the other.
+    pub false_concurrency: usize,
+    /// Causally maximal live writes missing after convergence.
+    pub lost_updates: usize,
+    /// Obsolete writes still present after convergence.
+    pub resurrections: usize,
+    /// Whether the cluster converged after healing plus full sweeps.
+    pub converged: bool,
+    /// Keys recycled by the final quiescent compaction.
+    pub keys_recycled: usize,
+    /// Cluster metrics after convergence and compaction.
+    pub final_metrics: StoreMetrics,
+    /// Mean per-`(replica, key)` metadata bits, sampled once per epoch.
+    pub metadata_curve: Vec<f64>,
+}
+
+impl StoreSimReport {
+    /// `true` when the run had no causal violations and converged.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.false_concurrency == 0
+            && self.lost_updates == 0
+            && self.resurrections == 0
+            && self.converged
+    }
+}
+
+/// The happens-before DAG of the run: per put id, the transitive closure of
+/// the put ids its session had read.
+#[derive(Debug, Default)]
+struct Oracle {
+    /// `closure[id]` = every id causally before `id` (transitively).
+    closure: BTreeMap<u64, BTreeSet<u64>>,
+    /// Put ids that were deletes.
+    deletes: BTreeSet<u64>,
+    /// Puts per key, in issue order.
+    by_key: BTreeMap<String, Vec<u64>>,
+}
+
+impl Oracle {
+    fn record_write(&mut self, id: u64, key: &str, read_ids: &[u64], delete: bool) {
+        let mut closure = BTreeSet::new();
+        for &seen in read_ids {
+            closure.insert(seen);
+            if let Some(upstream) = self.closure.get(&seen) {
+                closure.extend(upstream.iter().copied());
+            }
+        }
+        self.closure.insert(id, closure);
+        if delete {
+            self.deletes.insert(id);
+        }
+        self.by_key.entry(key.to_owned()).or_default().push(id);
+    }
+
+    fn covers(&self, later: u64, earlier: u64) -> bool {
+        self.closure.get(&later).is_some_and(|closure| closure.contains(&earlier))
+    }
+
+    /// Causally maximal writes on a key (nothing on the key covers them).
+    fn maximal(&self, key: &str) -> BTreeSet<u64> {
+        let Some(ids) = self.by_key.get(key) else { return BTreeSet::new() };
+        ids.iter()
+            .copied()
+            .filter(|&candidate| !ids.iter().any(|&other| self.covers(other, candidate)))
+            .collect()
+    }
+
+    /// Expected live values after convergence: maximal writes that are not
+    /// deletes.
+    fn expected_live(&self, key: &str) -> BTreeSet<u64> {
+        self.maximal(key).into_iter().filter(|id| !self.deletes.contains(id)).collect()
+    }
+}
+
+fn encode_id(id: u64) -> Vec<u8> {
+    id.to_le_bytes().to_vec()
+}
+
+fn decode_id(value: &[u8]) -> u64 {
+    u64::from_le_bytes(value.try_into().expect("sim values are 8-byte put ids"))
+}
+
+/// A remembered read a later (stale-context) session can write against.
+struct Snapshot<B: StoreBackend> {
+    replica: usize,
+    key: String,
+    read_ids: Vec<u64>,
+    context: Option<B::Clock>,
+}
+
+/// Runs a store simulation against the given backend, returning the oracle
+/// report. The schedule is fully determined by `spec` (seeded), so runs are
+/// reproducible and backend reports comparable.
+pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreSimReport {
+    let backend_label = backend.label();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
+    let mut oracle = Oracle::default();
+    let mut next_id = 1u64;
+    let mut sessions = 0usize;
+    let mut false_concurrency = 0usize;
+    let mut snapshots: Vec<Snapshot<B>> = Vec::new();
+    let mut metadata_curve = Vec::with_capacity(spec.rounds);
+
+    // Replica → island assignment; islands merge as rounds progress.
+    let mut island_of: Vec<usize> = (0..spec.replicas).map(|r| r % spec.islands.max(1)).collect();
+    let heal_every = (spec.rounds / spec.islands.max(1)).max(1);
+
+    let keys: Vec<String> = (0..spec.keys.max(1)).map(|k| format!("key-{k}")).collect();
+
+    for round in 0..spec.rounds {
+        // Client sessions. A session either reads fresh (get → put) or
+        // replays a remembered earlier read (stale context), which is what
+        // manufactures genuine siblings.
+        for _ in 0..spec.ops_per_round {
+            sessions += 1;
+            let use_stale = !snapshots.is_empty() && rng.gen_range(0..100u32) < spec.stale_percent;
+            let (replica, key, read_ids, context) = if use_stale {
+                let snapshot = snapshots.remove(rng.gen_range(0..snapshots.len()));
+                (snapshot.replica, snapshot.key, snapshot.read_ids, snapshot.context)
+            } else {
+                let replica = rng.gen_range(0..spec.replicas);
+                let key = keys[rng.gen_range(0..keys.len())].clone();
+                let read = cluster.get(replica, &key);
+                let ids: Vec<u64> = read.values.iter().map(|v| decode_id(v)).collect();
+                // Oracle check: returned siblings must be pairwise
+                // causally incomparable.
+                for (i, &a) in ids.iter().enumerate() {
+                    for &b in &ids[i + 1..] {
+                        if oracle.covers(a, b) || oracle.covers(b, a) {
+                            false_concurrency += 1;
+                        }
+                    }
+                }
+                if rng.gen_range(0..100u32) < 30 {
+                    snapshots.push(Snapshot {
+                        replica,
+                        key: key.clone(),
+                        read_ids: ids.clone(),
+                        context: read.context.clone(),
+                    });
+                    if snapshots.len() > 32 {
+                        snapshots.remove(0);
+                    }
+                }
+                (replica, key, ids, read.context)
+            };
+            let id = next_id;
+            next_id += 1;
+            let delete = rng.gen_range(0..100u32) < spec.delete_percent;
+            if delete {
+                cluster.delete(replica, &key, context.as_ref());
+            } else {
+                cluster.put(replica, &key, encode_id(id), context.as_ref());
+            }
+            oracle.record_write(id, &key, &read_ids, delete);
+        }
+
+        // Island-local anti-entropy: a few random intra-island pulls.
+        for _ in 0..spec.replicas {
+            let a = rng.gen_range(0..spec.replicas);
+            let peers: Vec<usize> =
+                (0..spec.replicas).filter(|&r| r != a && island_of[r] == island_of[a]).collect();
+            if peers.is_empty() {
+                continue;
+            }
+            let b = peers[rng.gen_range(0..peers.len())];
+            cluster.anti_entropy(a, b);
+            cluster.anti_entropy(b, a);
+        }
+
+        // Heal: merge the highest island into the lowest remaining one.
+        if (round + 1) % heal_every == 0 {
+            if let Some(&highest) = island_of.iter().max() {
+                if highest > 0 {
+                    for island in island_of.iter_mut() {
+                        if *island == highest {
+                            *island = highest - 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        metadata_curve.push(cluster.metrics().mean_key_metadata_bits);
+    }
+
+    // Heal everything and run sweeps until converged (bounded).
+    for island in island_of.iter_mut() {
+        *island = 0;
+    }
+    let mut converged = false;
+    for _ in 0..spec.replicas * 2 + 4 {
+        for a in 0..spec.replicas {
+            for b in 0..spec.replicas {
+                if a != b {
+                    cluster.anti_entropy(a, b);
+                }
+            }
+        }
+        if cluster.converged() {
+            converged = true;
+            break;
+        }
+    }
+
+    // Quiescent-point compaction (snapshots are dead by now).
+    snapshots.clear();
+    let compaction = cluster.compact();
+
+    // Compare the converged state with the oracle's maximal frontier.
+    let mut lost_updates = 0usize;
+    let mut resurrections = 0usize;
+    for key in &keys {
+        let expected = oracle.expected_live(key);
+        let got: BTreeSet<u64> = cluster.get(0, key).values.iter().map(|v| decode_id(v)).collect();
+        lost_updates += expected.difference(&got).count();
+        resurrections += got.difference(&expected).count();
+    }
+
+    StoreSimReport {
+        backend: backend_label,
+        sessions,
+        writes: (next_id - 1) as usize,
+        false_concurrency,
+        lost_updates,
+        resurrections,
+        converged,
+        keys_recycled: compaction.keys_recycled + compaction.keys_dropped,
+        final_metrics: cluster.metrics(),
+        metadata_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstamp_store::{DynamicVvBackend, VstampBackend};
+
+    #[test]
+    fn partition_heal_is_exact_for_every_backend() {
+        let spec = StoreSimSpec::partition_heal(6, 10, 42);
+        for report in [
+            run_store_sim(VstampBackend::gc(), &spec),
+            run_store_sim(VstampBackend::eager(), &spec),
+            run_store_sim(DynamicVvBackend::new(), &spec),
+        ] {
+            assert!(
+                report.is_exact(),
+                "{}: lost={} false_conc={} resurrect={} converged={}",
+                report.backend,
+                report.lost_updates,
+                report.false_concurrency,
+                report.resurrections,
+                report.converged
+            );
+            assert!(report.writes > 0);
+            assert_eq!(report.metadata_curve.len(), 10);
+        }
+    }
+
+    #[test]
+    fn churn_is_exact_for_every_backend() {
+        let spec = StoreSimSpec::churn(4, 12, 7);
+        for report in [
+            run_store_sim(VstampBackend::gc(), &spec),
+            run_store_sim(VstampBackend::eager(), &spec),
+            run_store_sim(DynamicVvBackend::new(), &spec),
+        ] {
+            assert!(
+                report.is_exact(),
+                "{}: lost={} false_conc={} resurrect={} converged={}",
+                report.backend,
+                report.lost_updates,
+                report.false_concurrency,
+                report.resurrections,
+                report.converged
+            );
+        }
+    }
+
+    #[test]
+    fn gc_backend_keeps_metadata_below_the_baseline_growth() {
+        // The headline store claim: version-stamp metadata adapts to the
+        // frontier while dynamic-VV vectors grow with retired incarnations.
+        let spec = StoreSimSpec::churn(4, 16, 3);
+        let stamps = run_store_sim(VstampBackend::gc(), &spec);
+        let dynamic = run_store_sim(DynamicVvBackend::new(), &spec);
+        assert!(stamps.is_exact() && dynamic.is_exact());
+        let stamp_final = stamps.metadata_curve.last().copied().unwrap_or(0.0);
+        let dynamic_final = dynamic.metadata_curve.last().copied().unwrap_or(0.0);
+        assert!(
+            stamp_final < dynamic_final,
+            "stamps {stamp_final:.0} bits vs dynamic-vv {dynamic_final:.0} bits"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let spec = StoreSimSpec::partition_heal(4, 6, 11);
+        let a = run_store_sim(VstampBackend::gc(), &spec);
+        let b = run_store_sim(VstampBackend::gc(), &spec);
+        assert_eq!(a, b);
+    }
+}

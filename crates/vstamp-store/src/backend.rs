@@ -1,0 +1,747 @@
+//! The clock seam of the store: a [`StoreBackend`] supplies per-key causal
+//! machinery — replica elements, per-version clocks, merge and compaction —
+//! while the store itself only manages shards, sibling sets and transport.
+//!
+//! Two backends ship, selected by mechanism label exactly as in the
+//! simulator's comparison tables:
+//!
+//! * [`VstampBackend`] (`version-stamps` / `version-stamps-gc`) — the
+//!   paper's mechanism. Each key is its own stamp universe: replica
+//!   elements are the leaves of a fork tree of the seed, a write is the
+//!   `update` transition, shipping state in anti-entropy is a `fork`
+//!   (sender keeps one half, the other rides the delta) and merging is a
+//!   `join` — the decentralized encoding of gossip in the fork/join/update
+//!   transition system, with **no identifiers and no counters anywhere**.
+//!   With GC enabled, every merge applies the PR 2 frontier-evidence
+//!   collapse, where the evidence now also pins every *stored version
+//!   clock* (a stored sibling is a live reference to its event markers, so
+//!   its subtree must not be re-minted while it can still be compared).
+//! * [`DynamicVvBackend`] (`dynamic-vv`) — dotted-version-vector-style
+//!   sibling resolution over the dynamic version-vector baseline: every
+//!   incarnation takes a fresh globally-unique identifier from a per-key
+//!   allocator. This is the mechanism the paper positions version stamps
+//!   against; the `bench_store_json` report contrasts the two per-key
+//!   metadata curves.
+//!
+//! Version clocks are *names* (for stamps) or *vectors* (for the baseline):
+//! a written version's clock is the join of the client's read context with
+//! the writer element's update knowledge, so causal chains across replicas
+//! dominate exactly the versions the client had seen.
+
+use core::fmt;
+
+use vstamp_core::codec::{self, StampCodec, VarintCodec};
+use vstamp_core::gc::{collapse, shrink_to_covers, stamp_footprint, FrontierEvidence};
+use vstamp_core::{DecodeError, Name, PackedName, Relation, VersionStamp};
+
+use vstamp_baselines::{DynamicVersionVectorMechanism, DynamicVvElement, ReplicaId, VersionVector};
+use vstamp_core::Mechanism as _;
+
+/// Per-key causal machinery the store is generic over. See the
+/// [module docs](self) for the two shipped implementations.
+pub trait StoreBackend: Send + Sync + 'static {
+    /// Cluster-shared per-key coordination state (GC evidence pins, id
+    /// allocators). Lives in the cluster's clock plane, one per key.
+    type KeyState: Send + fmt::Debug;
+    /// Per-`(key, replica)` element driving the fork/join/update lifecycle.
+    type Element: Clone + PartialEq + Send + Sync + fmt::Debug;
+    /// Per-stored-version causal clock.
+    type Clock: Clone + PartialEq + Send + Sync + fmt::Debug;
+
+    /// Mechanism label used to select and report the backend
+    /// (`version-stamps-gc`, `version-stamps`, `dynamic-vv`).
+    fn label(&self) -> &'static str;
+
+    /// Creates a fresh key universe: the coordination state plus one
+    /// element per replica.
+    fn new_key(&self, replicas: usize) -> (Self::KeyState, Vec<Self::Element>);
+
+    /// A local write: advances the replica's element and mints the clock of
+    /// the written version from the client's read context plus the
+    /// element's own knowledge.
+    fn write(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+        context: Option<&Self::Clock>,
+    ) -> (Self::Element, Self::Clock);
+
+    /// Splits the element for an anti-entropy send: `(kept, shipped)`. The
+    /// shipped half rides the delta and is consumed by the receiver's
+    /// [`StoreBackend::absorb`].
+    fn detach(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+    ) -> (Self::Element, Self::Element);
+
+    /// Merges a shipped element into the local one (the `join` transition),
+    /// applying whatever compaction the backend's policy allows.
+    fn absorb(
+        &self,
+        state: &mut Self::KeyState,
+        local: &Self::Element,
+        shipped: &Self::Element,
+    ) -> Self::Element;
+
+    /// Classifies two version clocks.
+    fn relation(&self, left: &Self::Clock, right: &Self::Clock) -> Relation;
+
+    /// Joins two clocks into one causal context.
+    fn join_clocks(&self, left: &Self::Clock, right: &Self::Clock) -> Self::Clock;
+
+    /// Records that a version carrying `clock` is now stored somewhere in
+    /// the cluster (GC evidence pin; no-op for identifier-based backends).
+    fn retain_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock);
+
+    /// Records that a stored version carrying `clock` was discarded.
+    fn release_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock);
+
+    /// Attempts quiescent-point compaction of the key universe: when every
+    /// replica element is pairwise `Equal` and exactly one version clock is
+    /// stored cluster-wide, re-mints the whole identity space. Returns the
+    /// fresh elements (one per entry of `elements`) and the fresh clock for
+    /// the surviving version, or `None` when compaction does not apply.
+    fn compact_quiescent(
+        &self,
+        state: &mut Self::KeyState,
+        elements: &[Self::Element],
+        stored_clocks: &[Self::Clock],
+    ) -> Option<(Vec<Self::Element>, Self::Clock)>;
+
+    /// Appends the wire encoding of a clock to `out`.
+    fn encode_clock(&self, clock: &Self::Clock, out: &mut Vec<u8>);
+
+    /// Decodes a clock occupying the whole of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated, malformed or trailing input.
+    fn decode_clock(&self, bytes: &[u8]) -> Result<Self::Clock, DecodeError>;
+
+    /// Appends the wire encoding of an element to `out`.
+    fn encode_element(&self, element: &Self::Element, out: &mut Vec<u8>);
+
+    /// Appends a stable encoding of the element's *knowledge* (what it has
+    /// seen, not its identity) — the digest ingredient that decides whether
+    /// an exchange still has something to teach this replica. Identity
+    /// components are excluded on purpose: they churn with every
+    /// detach/absorb even when no knowledge moves.
+    fn encode_element_knowledge(&self, element: &Self::Element, out: &mut Vec<u8>);
+
+    /// Decodes an element occupying the whole of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated, malformed or trailing input.
+    fn decode_element(&self, bytes: &[u8]) -> Result<Self::Element, DecodeError>;
+
+    /// Wire size of a clock, in bits — the per-key metadata metric of the
+    /// store benchmark.
+    fn clock_bits(&self, clock: &Self::Clock) -> usize;
+
+    /// Wire size of an element, in bits.
+    fn element_bits(&self, element: &Self::Element) -> usize;
+}
+
+/// Builds the balanced fork tree the initial replica elements of a key (or
+/// the quiescent re-mint) are the leaves of. Store elements are pure
+/// *identity carriers*: their update component stays empty — causal
+/// knowledge lives in the version clocks, where eviction can release it —
+/// so Section-6 reduction and the frontier GC are free to collapse and
+/// re-anchor identities the moment no stored clock pins them.
+fn fork_tree(replicas: usize) -> Vec<VersionStamp> {
+    let mut elements = vec![VersionStamp::from_parts(PackedName::empty(), PackedName::epsilon())
+        .expect("empty update below any id")];
+    while elements.len() < replicas.max(1) {
+        let victim = elements.remove(0);
+        let (zero, one) = victim.fork();
+        elements.push(zero);
+        elements.push(one);
+    }
+    elements
+}
+
+/// The element's *dot*: its shallowest identity string, the decentralized
+/// stand-in for DVV's `(replica, counter)` write identifier. A written
+/// version's clock is `context ⊔ {dot}`; dots of different elements live in
+/// disjoint identity subtrees (Invariant I2), so concurrent writes are
+/// incomparable, while a re-read context acquires the dot and strictly
+/// dominates it.
+fn element_dot(element: &VersionStamp) -> PackedName {
+    let strings = element.id_name().strings();
+    let shallowest = strings
+        .iter()
+        .min_by_key(|s| s.len())
+        .expect("live elements own at least one identity string")
+        .clone();
+    PackedName::from_name(&Name::from_string(shallowest))
+}
+
+/// Per-key coordination state of [`VstampBackend`]: a refcounted multiset
+/// of pinned footprints — one per live element (replica-held or in flight)
+/// and one per stored version clock — which is exactly the frontier
+/// evidence the PR 2 collapse needs, maintained incrementally.
+#[derive(Debug, Default)]
+pub struct VstampKeyState {
+    pins: Vec<(Name, u32)>,
+    degraded: bool,
+}
+
+impl VstampKeyState {
+    fn pin(&mut self, name: Name) {
+        match self.pins.iter_mut().find(|(pinned, _)| *pinned == name) {
+            Some((_, count)) => *count += 1,
+            None => self.pins.push((name, 1)),
+        }
+    }
+
+    fn unpin(&mut self, name: &Name) {
+        match self.pins.iter().position(|(pinned, _)| pinned == name) {
+            Some(index) => {
+                self.pins[index].1 -= 1;
+                if self.pins[index].1 == 0 {
+                    self.pins.swap_remove(index);
+                }
+            }
+            // A transition the state never saw: evidence is unreliable from
+            // here on — degrade to plain eager reduction, never collapse on
+            // bad evidence (mirrors `FrontierGc::is_degraded`).
+            None => self.degraded = true,
+        }
+    }
+
+    /// Evidence footprint of everything pinned except one occurrence each
+    /// of `left` and `right` (the two footprints a join consumes). `left`
+    /// and `right` may coincide (degenerate self-absorbs): both skips then
+    /// come out of the same entry, saturating at zero.
+    fn evidence_without(&self, left: &Name, right: &Name) -> FrontierEvidence {
+        let mut skip_left = 1u32;
+        let mut skip_right = 1u32;
+        FrontierEvidence::from_footprints(self.pins.iter().flat_map(|(name, count)| {
+            let mut occurrences = *count;
+            if name == left && skip_left > 0 && occurrences > 0 {
+                skip_left -= 1;
+                occurrences -= 1;
+            }
+            if name == right && skip_right > 0 && occurrences > 0 {
+                skip_right -= 1;
+                occurrences -= 1;
+            }
+            std::iter::repeat(name).take(occurrences.min(1) as usize)
+        }))
+    }
+
+    /// Whether evidence tracking lost sync and GC is disabled for this key.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+/// The version-stamp backend; see the [module docs](self). `GC` selects
+/// whether merges apply the frontier-evidence collapse (the PR 2 policy) on
+/// top of eager Section-6 reduction.
+#[derive(Debug, Clone, Default)]
+pub struct VstampBackend<C = VarintCodec> {
+    codec: C,
+    gc: bool,
+}
+
+impl VstampBackend<VarintCodec> {
+    /// Eager reduction only — the Section-6 mechanism verbatim.
+    #[must_use]
+    pub fn eager() -> Self {
+        VstampBackend { codec: VarintCodec, gc: false }
+    }
+
+    /// Eager reduction plus frontier-evidence GC at every merge (the
+    /// store default).
+    #[must_use]
+    pub fn gc() -> Self {
+        VstampBackend { codec: VarintCodec, gc: true }
+    }
+}
+
+impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> VstampBackend<C> {
+    /// A GC-enabled backend over an explicit codec (the codec seam: any
+    /// [`StampCodec`] implementation frames the replication traffic).
+    #[must_use]
+    pub fn with_codec(codec: C) -> Self {
+        VstampBackend { codec, gc: true }
+    }
+}
+
+fn clock_footprint(clock: &PackedName) -> Name {
+    clock.to_name()
+}
+
+impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for VstampBackend<C> {
+    type KeyState = VstampKeyState;
+    type Element = VersionStamp;
+    type Clock = PackedName;
+
+    fn label(&self) -> &'static str {
+        if self.gc {
+            "version-stamps-gc"
+        } else {
+            "version-stamps"
+        }
+    }
+
+    fn new_key(&self, replicas: usize) -> (Self::KeyState, Vec<Self::Element>) {
+        let elements = fork_tree(replicas);
+        let mut state = VstampKeyState::default();
+        for element in &elements {
+            state.pin(stamp_footprint(element));
+        }
+        (state, elements)
+    }
+
+    fn write(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+        context: Option<&Self::Clock>,
+    ) -> (Self::Element, Self::Clock) {
+        // Every write *spends* one fork half of the element's identity on
+        // the version: the dot is globally unique (no two writes ever mint
+        // the same one, Invariant I2), the version's clock is the client's
+        // read context joined with the dot, and evicting the version later
+        // releases its pin so the collapse pool reclaims the spent half —
+        // identity lending instead of counters.
+        let (kept, spent) = element.fork();
+        let marker = element_dot(&spent);
+        let clock = match context {
+            Some(context) => context.join(&marker),
+            None => marker,
+        };
+        state.unpin(&stamp_footprint(element));
+        state.pin(stamp_footprint(&kept));
+        (kept, clock)
+    }
+
+    fn detach(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+    ) -> (Self::Element, Self::Element) {
+        let (kept, shipped) = element.fork();
+        state.unpin(&stamp_footprint(element));
+        state.pin(stamp_footprint(&kept));
+        state.pin(stamp_footprint(&shipped));
+        (kept, shipped)
+    }
+
+    fn absorb(
+        &self,
+        state: &mut Self::KeyState,
+        local: &Self::Element,
+        shipped: &Self::Element,
+    ) -> Self::Element {
+        let local_footprint = stamp_footprint(local);
+        let shipped_footprint = stamp_footprint(shipped);
+        let joined = local.join(shipped);
+        // Cover shrinking is unconditionally sound for identity-carrier
+        // elements (empty update): the dropped strings carry no markers,
+        // and every re-minting path is evidence-gated. Without it the
+        // absorbed fork halves accumulate one string per exchange — the
+        // measured fragmentation wall.
+        let result = if self.gc && !state.degraded {
+            let evidence = state.evidence_without(&local_footprint, &shipped_footprint);
+            shrink_to_covers(&collapse(&joined, &evidence))
+        } else {
+            shrink_to_covers(&joined)
+        };
+        state.unpin(&local_footprint);
+        state.unpin(&shipped_footprint);
+        state.pin(stamp_footprint(&result));
+        result
+    }
+
+    fn relation(&self, left: &Self::Clock, right: &Self::Clock) -> Relation {
+        left.relation(right)
+    }
+
+    fn join_clocks(&self, left: &Self::Clock, right: &Self::Clock) -> Self::Clock {
+        left.join(right)
+    }
+
+    fn retain_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
+        state.pin(clock_footprint(clock));
+    }
+
+    fn release_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
+        state.unpin(&clock_footprint(clock));
+    }
+
+    fn compact_quiescent(
+        &self,
+        state: &mut Self::KeyState,
+        elements: &[Self::Element],
+        stored_clocks: &[Self::Clock],
+    ) -> Option<(Vec<Self::Element>, Self::Clock)> {
+        // Only the fully-settled shape recycles: a single surviving version
+        // cluster-wide (the caller has verified it is identical on every
+        // replica). The fresh universe re-mints the elements as a fork tree
+        // and the surviving version's clock as {ε}, which every future
+        // write strictly dominates — the bounded-timestamp recycling
+        // discipline, per key.
+        if stored_clocks.len() != 1 {
+            return None;
+        }
+        let fresh = fork_tree(elements.len());
+        *state = VstampKeyState::default();
+        for element in &fresh {
+            state.pin(stamp_footprint(element));
+        }
+        let fresh_clock = PackedName::epsilon();
+        // One pin per replica storing the surviving version.
+        for _ in elements {
+            state.pin(clock_footprint(&fresh_clock));
+        }
+        Some((fresh, fresh_clock))
+    }
+
+    fn encode_clock(&self, clock: &Self::Clock, out: &mut Vec<u8>) {
+        self.codec.encode_name_into(clock, out);
+    }
+
+    fn decode_clock(&self, bytes: &[u8]) -> Result<Self::Clock, DecodeError> {
+        self.codec.decode_name(bytes)
+    }
+
+    fn encode_element(&self, element: &Self::Element, out: &mut Vec<u8>) {
+        self.codec.encode_stamp_into(element, out);
+    }
+
+    fn encode_element_knowledge(&self, element: &Self::Element, out: &mut Vec<u8>) {
+        self.codec.encode_name_into(element.update_name(), out);
+    }
+
+    fn decode_element(&self, bytes: &[u8]) -> Result<Self::Element, DecodeError> {
+        self.codec.decode_stamp(bytes)
+    }
+
+    fn clock_bits(&self, clock: &Self::Clock) -> usize {
+        clock.encoded_bits()
+    }
+
+    fn element_bits(&self, element: &Self::Element) -> usize {
+        element.encoded_bits()
+    }
+}
+
+/// Per-key coordination state of [`DynamicVvBackend`]: the per-key
+/// incarnation-identifier allocator (the global service the paper removes).
+#[derive(Debug, Default)]
+pub struct DynamicVvKeyState {
+    mechanism: DynamicVersionVectorMechanism,
+}
+
+impl DynamicVvKeyState {
+    /// Incarnation identifiers handed out for this key so far — the
+    /// unbounded quantity the version-stamp backend does without.
+    #[must_use]
+    pub fn incarnations_allocated(&self) -> u64 {
+        self.mechanism.incarnations_allocated()
+    }
+}
+
+/// A dotted per-version clock for the baseline backend: the write's unique
+/// `(incarnation, counter)` dot plus the causal context it was written
+/// against.
+///
+/// Comparison is **dot containment**, exactly as in Dotted Version Vectors:
+/// a version is dominated when its dot is inside the other side's effective
+/// context — never merely because the same incarnation wrote again (which
+/// is what makes naive effective-vector comparison lose concurrent writes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DvvClock {
+    /// The write's identifying dot; `None` for pure contexts (joins).
+    pub dot: Option<(ReplicaId, u64)>,
+    /// The causal context of the write.
+    pub ctx: VersionVector,
+}
+
+impl DvvClock {
+    /// The dot folded into the context: everything this clock covers.
+    #[must_use]
+    pub fn effective(&self) -> VersionVector {
+        let mut vector = self.ctx.clone();
+        if let Some((replica, counter)) = self.dot {
+            vector.set(replica, vector.get(replica).max(counter));
+        }
+        vector
+    }
+
+    /// Whether everything this clock identifies is covered by `other`.
+    ///
+    /// Only `other`'s *context* covers — its own dot does not: a later
+    /// write by the same incarnation must not silently dominate an earlier
+    /// one it never read (dot containment, the defining DVV rule).
+    fn covered_by(&self, other: &DvvClock) -> bool {
+        match self.dot {
+            Some((replica, counter)) => counter <= other.ctx.get(replica),
+            None => self.ctx.leq(&other.ctx),
+        }
+    }
+}
+
+/// The dynamic version-vector baseline backend; see the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicVvBackend;
+
+impl DynamicVvBackend {
+    /// The baseline backend.
+    #[must_use]
+    pub fn new() -> Self {
+        DynamicVvBackend
+    }
+}
+
+fn encode_vector(vector: &VersionVector, out: &mut Vec<u8>) {
+    codec::write_varint(out, vector.len() as u64);
+    for (replica, counter) in vector.iter() {
+        codec::write_varint(out, replica.raw());
+        codec::write_varint(out, *counter);
+    }
+}
+
+fn decode_vector(input: &mut &[u8]) -> Result<VersionVector, DecodeError> {
+    let entries = codec::read_varint(input)?;
+    if entries > 1 << 20 {
+        return Err(DecodeError::Malformed("implausible vector width"));
+    }
+    let mut pairs = Vec::with_capacity(entries as usize);
+    for _ in 0..entries {
+        let replica = codec::read_varint(input)?;
+        let counter = codec::read_varint(input)?;
+        pairs.push((ReplicaId::new(replica), counter));
+    }
+    Ok(VersionVector::from_entries(pairs))
+}
+
+impl StoreBackend for DynamicVvBackend {
+    type KeyState = DynamicVvKeyState;
+    type Element = DynamicVvElement;
+    type Clock = DvvClock;
+
+    fn label(&self) -> &'static str {
+        "dynamic-vv"
+    }
+
+    fn new_key(&self, replicas: usize) -> (Self::KeyState, Vec<Self::Element>) {
+        let mut state = DynamicVvKeyState::default();
+        let mut elements = vec![state.mechanism.initial()];
+        while elements.len() < replicas.max(1) {
+            let victim = elements.remove(0);
+            let (left, right) = state.mechanism.fork(&victim);
+            elements.push(left);
+            elements.push(right);
+        }
+        (state, elements)
+    }
+
+    fn write(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+        context: Option<&Self::Clock>,
+    ) -> (Self::Element, Self::Clock) {
+        let advanced = state.mechanism.update(element);
+        let dot = (advanced.incarnation, advanced.vector.get(advanced.incarnation));
+        let clock =
+            DvvClock { dot: Some(dot), ctx: context.map(DvvClock::effective).unwrap_or_default() };
+        (advanced, clock)
+    }
+
+    fn detach(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+    ) -> (Self::Element, Self::Element) {
+        state.mechanism.fork(element)
+    }
+
+    fn absorb(
+        &self,
+        state: &mut Self::KeyState,
+        local: &Self::Element,
+        shipped: &Self::Element,
+    ) -> Self::Element {
+        state.mechanism.join(local, shipped)
+    }
+
+    fn relation(&self, left: &Self::Clock, right: &Self::Clock) -> Relation {
+        // Identical dots identify the same write (replicated copies).
+        if left.dot.is_some() && left.dot == right.dot {
+            return Relation::Equal;
+        }
+        Relation::from_leq(left.covered_by(right), right.covered_by(left))
+    }
+
+    fn join_clocks(&self, left: &Self::Clock, right: &Self::Clock) -> Self::Clock {
+        DvvClock { dot: None, ctx: left.effective().merged(&right.effective()) }
+    }
+
+    fn retain_clock(&self, _state: &mut Self::KeyState, _clock: &Self::Clock) {}
+
+    fn release_clock(&self, _state: &mut Self::KeyState, _clock: &Self::Clock) {}
+
+    fn compact_quiescent(
+        &self,
+        _state: &mut Self::KeyState,
+        _elements: &[Self::Element],
+        _stored_clocks: &[Self::Clock],
+    ) -> Option<(Vec<Self::Element>, Self::Clock)> {
+        // Identifier-based vectors never shed retired incarnations — this
+        // is precisely the contrast the benchmark measures.
+        None
+    }
+
+    fn encode_clock(&self, clock: &Self::Clock, out: &mut Vec<u8>) {
+        match clock.dot {
+            Some((replica, counter)) => {
+                out.push(1);
+                codec::write_varint(out, replica.raw());
+                codec::write_varint(out, counter);
+            }
+            None => out.push(0),
+        }
+        encode_vector(&clock.ctx, out);
+    }
+
+    fn decode_clock(&self, bytes: &[u8]) -> Result<Self::Clock, DecodeError> {
+        let mut input = bytes;
+        let (flag, rest) = input.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+        input = rest;
+        let dot = match flag {
+            0 => None,
+            1 => {
+                let replica = ReplicaId::new(codec::read_varint(&mut input)?);
+                let counter = codec::read_varint(&mut input)?;
+                Some((replica, counter))
+            }
+            _ => return Err(DecodeError::Malformed("unknown dot flag")),
+        };
+        let ctx = decode_vector(&mut input)?;
+        if !input.is_empty() {
+            return Err(DecodeError::TrailingData);
+        }
+        Ok(DvvClock { dot, ctx })
+    }
+
+    fn encode_element(&self, element: &Self::Element, out: &mut Vec<u8>) {
+        codec::write_varint(out, element.incarnation.raw());
+        encode_vector(&element.vector, out);
+    }
+
+    fn encode_element_knowledge(&self, element: &Self::Element, out: &mut Vec<u8>) {
+        encode_vector(&element.vector, out);
+    }
+
+    fn decode_element(&self, bytes: &[u8]) -> Result<Self::Element, DecodeError> {
+        let mut input = bytes;
+        let incarnation = ReplicaId::new(codec::read_varint(&mut input)?);
+        let vector = decode_vector(&mut input)?;
+        if !input.is_empty() {
+            return Err(DecodeError::TrailingData);
+        }
+        Ok(DynamicVvElement { incarnation, vector })
+    }
+
+    fn clock_bits(&self, clock: &Self::Clock) -> usize {
+        clock.ctx.size_bits() + if clock.dot.is_some() { 128 } else { 0 }
+    }
+
+    fn element_bits(&self, element: &Self::Element) -> usize {
+        64 + element.vector.size_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vstamp_backend_write_chain_dominates_context() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(3);
+        let (a1, clock_a) = backend.write(&mut state, &elements[0], None);
+        let (_, clock_b) = backend.write(&mut state, &elements[1], Some(&clock_a));
+        assert_eq!(backend.relation(&clock_b, &clock_a), Relation::Dominates);
+        let (_, clock_c) = backend.write(&mut state, &elements[2], None);
+        assert_eq!(backend.relation(&clock_c, &clock_a), Relation::Concurrent);
+        assert!(!state.is_degraded());
+        let _ = a1;
+    }
+
+    #[test]
+    fn vstamp_backend_detach_absorb_roundtrip_reduces() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        let (kept, shipped) = backend.detach(&mut state, &elements[1]);
+        let merged = backend.absorb(&mut state, &elements[0], &shipped);
+        assert!(merged.validate().is_ok());
+        assert!(!state.is_degraded());
+        let _ = kept;
+    }
+
+    #[test]
+    fn vstamp_compaction_requires_quiescence() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        let (_, clock) = backend.write(&mut state, &elements[0], None);
+        backend.retain_clock(&mut state, &clock);
+        // One surviving version cluster-wide: the universe recycles.
+        let compacted =
+            backend.compact_quiescent(&mut state, &elements, std::slice::from_ref(&clock));
+        let (fresh, fresh_clock) = compacted.expect("quiescent key compacts");
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh_clock.is_epsilon());
+        // Concurrent siblings block compaction.
+        let (mut state, elements) = backend.new_key(2);
+        let (_, c0) = backend.write(&mut state, &elements[0], None);
+        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        assert!(backend.compact_quiescent(&mut state, &elements, &[c0, c1]).is_none());
+    }
+
+    #[test]
+    fn dynamic_vv_backend_allocates_identifiers_forever() {
+        let backend = DynamicVvBackend::new();
+        let (mut state, elements) = backend.new_key(2);
+        let before = state.incarnations_allocated();
+        let (kept, shipped) = backend.detach(&mut state, &elements[0]);
+        let _ = backend.absorb(&mut state, &elements[1], &shipped);
+        assert!(state.incarnations_allocated() > before);
+        let _ = kept;
+    }
+
+    #[test]
+    fn both_backends_roundtrip_wire_encodings() {
+        let vs = VstampBackend::gc();
+        let (mut state, elements) = vs.new_key(3);
+        let (element, clock) = vs.write(&mut state, &elements[2], None);
+        let mut bytes = Vec::new();
+        vs.encode_clock(&clock, &mut bytes);
+        assert_eq!(vs.decode_clock(&bytes).unwrap(), clock);
+        bytes.clear();
+        vs.encode_element(&element, &mut bytes);
+        assert_eq!(vs.decode_element(&bytes).unwrap(), element);
+        assert!(vs.clock_bits(&clock) > 0);
+        assert!(vs.element_bits(&element) > 0);
+
+        let dv = DynamicVvBackend::new();
+        let (mut state, elements) = dv.new_key(3);
+        let (element, clock) = dv.write(&mut state, &elements[1], None);
+        bytes.clear();
+        dv.encode_clock(&clock, &mut bytes);
+        assert_eq!(dv.decode_clock(&bytes).unwrap(), clock);
+        bytes.clear();
+        dv.encode_element(&element, &mut bytes);
+        assert_eq!(dv.decode_element(&bytes).unwrap(), element);
+        assert!(dv.decode_element(&bytes[..bytes.len() - 1]).is_err());
+        assert!(dv.clock_bits(&clock) > 0);
+    }
+}

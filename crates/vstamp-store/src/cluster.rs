@@ -1,0 +1,723 @@
+//! The replicated store cluster: N replicas, each a sharded data plane,
+//! plus the cluster-shared clock plane (per-key coordination state of the
+//! backend), the synchronous anti-entropy exchange, the channel-driven
+//! gossip runner and quiescent-point compaction.
+//!
+//! # Concurrency
+//!
+//! Every lock is per shard. An operation touching a key takes at most two
+//! locks, always in the same order — the clock-plane shard first, then one
+//! data-plane shard — so client traffic, concurrent exchanges and gossip
+//! workers never deadlock. Reads (`get`, digest building) take only a data
+//! shard read lock.
+//!
+//! # Coordination caveat
+//!
+//! The clock plane is shared cluster state: for the version-stamp backend
+//! it carries the per-key GC evidence pins, for the baseline the per-key
+//! identifier allocator. A real deployment would piggyback the evidence on
+//! the anti-entropy protocol itself (and the baseline would need a real
+//! identifier service); the in-process plane stands in for both, exactly
+//! as the `FrontierGc` mirror does in `vstamp-core` (see its module docs).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::backend::StoreBackend;
+use crate::store::{fnv1a, shard_of, DataPlane, GetResult, Key, KeyData, Value, Version};
+use crate::wire::{
+    decode_delta, decode_digest, encode_delta, encode_digest, DigestEntry, Envelope, KeyDelta,
+    MessageKind,
+};
+
+/// Per-key entry of the clock plane: the backend's coordination state plus
+/// the initial elements replicas have not yet claimed.
+#[derive(Debug)]
+struct KeyPlane<B: StoreBackend> {
+    state: B::KeyState,
+    unclaimed: Vec<Option<B::Element>>,
+}
+
+/// Volume and coverage counters of one anti-entropy exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Keys listed in the requester's digest.
+    pub digest_keys: usize,
+    /// Keys the responder shipped (fingerprint mismatch or missing).
+    pub keys_shipped: usize,
+    /// Bytes of the digest message.
+    pub digest_bytes: usize,
+    /// Bytes of the delta message.
+    pub delta_bytes: usize,
+}
+
+/// Space metrics of the whole cluster — the per-key metadata curves of
+/// `bench_store_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMetrics {
+    /// Backend label.
+    pub label: &'static str,
+    /// Distinct keys present on at least one replica.
+    pub keys: usize,
+    /// Stored versions summed over replicas.
+    pub total_versions: usize,
+    /// Largest sibling set anywhere.
+    pub max_siblings: usize,
+    /// Wire bits of every stored clock summed over replicas.
+    pub clock_bits_total: usize,
+    /// Wire bits of every replica element summed over replicas.
+    pub element_bits_total: usize,
+    /// Mean per-`(replica, key)` metadata footprint (element + clocks), in
+    /// bits.
+    pub mean_key_metadata_bits: f64,
+    /// Largest per-`(replica, key)` metadata footprint, in bits.
+    pub max_key_metadata_bits: usize,
+}
+
+/// Counters of one [`Cluster::compact`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Keys whose identity universe was re-minted.
+    pub keys_recycled: usize,
+    /// Fully-deleted keys dropped from every replica.
+    pub keys_dropped: usize,
+}
+
+/// A replicated KV cluster over one [`StoreBackend`]. See the
+/// [module docs](self) and the crate docs for the data model.
+#[derive(Debug)]
+pub struct Cluster<B: StoreBackend> {
+    backend: B,
+    replicas: Vec<DataPlane<B>>,
+    plane: Vec<Mutex<HashMap<Key, KeyPlane<B>>>>,
+    shard_count: usize,
+}
+
+impl<B: StoreBackend> Cluster<B> {
+    /// Builds a cluster of `replicas` nodes, each with `shard_count`
+    /// hash-partitioned shards.
+    #[must_use]
+    pub fn new(backend: B, replicas: usize, shard_count: usize) -> Self {
+        let replicas = replicas.max(1);
+        let shard_count = shard_count.max(1);
+        Cluster {
+            backend,
+            replicas: (0..replicas).map(|_| DataPlane::new(shard_count)).collect(),
+            plane: (0..shard_count).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_count,
+        }
+    }
+
+    /// The backend in force.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of shards per replica.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Causal read at one replica: the live sibling values plus the context
+    /// a follow-up [`Cluster::put`] should carry.
+    #[must_use]
+    pub fn get(&self, replica: usize, key: &str) -> GetResult<B> {
+        let shard = self.replicas[replica].shard(shard_of(key, self.shard_count)).read();
+        match shard.get(key) {
+            Some(data) => {
+                GetResult { values: data.live_values(), context: data.context(&self.backend) }
+            }
+            None => GetResult { values: Vec::new(), context: None },
+        }
+    }
+
+    /// Causal write at one replica. The new version's clock dominates
+    /// everything in `context` (plus the writing element's own knowledge);
+    /// stored siblings the context covers are evicted, the rest remain
+    /// concurrent siblings. Returns the written version's clock.
+    pub fn put(
+        &self,
+        replica: usize,
+        key: &str,
+        value: Value,
+        context: Option<&B::Clock>,
+    ) -> B::Clock {
+        self.write(replica, key, Some(value), context)
+    }
+
+    /// Causal delete at one replica: a tombstone write. The key is fully
+    /// dropped later, by [`Cluster::compact`], once the tombstone is the
+    /// sole version everywhere.
+    pub fn delete(&self, replica: usize, key: &str, context: Option<&B::Clock>) -> B::Clock {
+        self.write(replica, key, None, context)
+    }
+
+    fn write(
+        &self,
+        replica: usize,
+        key: &str,
+        value: Option<Value>,
+        context: Option<&B::Clock>,
+    ) -> B::Clock {
+        let shard_index = shard_of(key, self.shard_count);
+        let mut plane = self.plane[shard_index].lock();
+        let entry = plane.entry(key.to_owned()).or_insert_with(|| {
+            let (state, elements) = self.backend.new_key(self.replicas.len());
+            KeyPlane { state, unclaimed: elements.into_iter().map(Some).collect() }
+        });
+        let mut shard = self.replicas[replica].shard(shard_index).write();
+        let data = shard.entry(key.to_owned()).or_insert_with(|| {
+            KeyData::new(
+                entry.unclaimed[replica].take().expect("initial element claimed exactly once"),
+            )
+        });
+        let (advanced, clock) = self.backend.write(&mut entry.state, &data.element, context);
+        data.element = advanced;
+        let outcome =
+            data.merge_version(&self.backend, Version { clock: clock.clone(), value }, true);
+        if outcome.stored {
+            self.backend.retain_clock(&mut entry.state, &clock);
+        }
+        for evicted in &outcome.evicted {
+            self.backend.release_clock(&mut entry.state, evicted);
+        }
+        clock
+    }
+
+    /// Fingerprint of one key's state at one replica: the sorted encoded
+    /// sibling clocks plus the element's knowledge. Identical fingerprints
+    /// let an exchange skip the key; crucially the fingerprint covers the
+    /// element's *knowledge*, so exchanges keep flowing until element
+    /// knowledge — not just data — has converged, which is what arms
+    /// quiescent-point compaction.
+    fn fingerprint(&self, data: &KeyData<B>) -> u64 {
+        let encoded = self.encoded_versions(data);
+        let mut all = Vec::new();
+        for bytes in encoded {
+            all.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            all.extend_from_slice(&bytes);
+        }
+        self.backend.encode_element_knowledge(&data.element, &mut all);
+        fnv1a(&all)
+    }
+
+    /// Canonical per-version byte form (encoded clock, tombstone flag,
+    /// value), sorted — shared by [`Cluster::fingerprint`] (the exchange
+    /// skip decision) and the convergence snapshot so the two can never
+    /// silently diverge.
+    fn encoded_versions(&self, data: &KeyData<B>) -> Vec<Vec<u8>> {
+        let mut encoded: Vec<Vec<u8>> = data
+            .versions
+            .iter()
+            .map(|version| {
+                let mut bytes = Vec::new();
+                self.backend.encode_clock(&version.clock, &mut bytes);
+                bytes.push(u8::from(version.value.is_some()));
+                if let Some(value) = &version.value {
+                    bytes.extend_from_slice(value);
+                }
+                bytes
+            })
+            .collect();
+        encoded.sort();
+        encoded
+    }
+
+    /// The digest of one replica's whole data plane.
+    #[must_use]
+    pub fn build_digest(&self, replica: usize) -> Vec<DigestEntry> {
+        let mut entries = Vec::new();
+        for shard_index in 0..self.shard_count {
+            let shard = self.replicas[replica].shard(shard_index).read();
+            for (key, data) in shard.iter() {
+                entries.push(DigestEntry { key: key.clone(), fingerprint: self.fingerprint(data) });
+            }
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries
+    }
+
+    /// Builds the responder's delta for a requester digest: every key the
+    /// responder holds whose fingerprint differs (or which the requester
+    /// lacks) is shipped — forked element plus full sibling set.
+    #[must_use]
+    pub fn respond_delta(&self, responder: usize, digest: &[DigestEntry]) -> Vec<KeyDelta<B>> {
+        let requested: HashMap<&str, u64> =
+            digest.iter().map(|entry| (entry.key.as_str(), entry.fingerprint)).collect();
+        let mut deltas = Vec::new();
+        for shard_index in 0..self.shard_count {
+            let keys: Vec<Key> = {
+                let shard = self.replicas[responder].shard(shard_index).read();
+                shard
+                    .iter()
+                    .filter(|(key, data)| {
+                        requested.get(key.as_str()) != Some(&self.fingerprint(data))
+                    })
+                    .map(|(key, _)| key.clone())
+                    .collect()
+            };
+            for key in keys {
+                let mut plane = self.plane[shard_index].lock();
+                let Some(entry) = plane.get_mut(&key) else { continue };
+                let mut shard = self.replicas[responder].shard(shard_index).write();
+                let Some(data) = shard.get_mut(&key) else { continue };
+                let (kept, shipped) = self.backend.detach(&mut entry.state, &data.element);
+                data.element = kept;
+                deltas.push(KeyDelta {
+                    key: key.clone(),
+                    element: shipped,
+                    versions: data.versions.clone(),
+                });
+            }
+        }
+        deltas.sort_by(|a, b| a.key.cmp(&b.key));
+        deltas
+    }
+
+    /// Applies a delta at the requester: element `join` (with the
+    /// backend's merge-time GC) plus sibling merges.
+    pub fn apply_delta(&self, requester: usize, deltas: Vec<KeyDelta<B>>) {
+        for delta in deltas {
+            let shard_index = shard_of(&delta.key, self.shard_count);
+            let mut plane = self.plane[shard_index].lock();
+            let Some(entry) = plane.get_mut(&delta.key) else { continue };
+            let mut shard = self.replicas[requester].shard(shard_index).write();
+            let data = shard.entry(delta.key.clone()).or_insert_with(|| {
+                KeyData::new(
+                    entry.unclaimed[requester]
+                        .take()
+                        .expect("initial element claimed exactly once"),
+                )
+            });
+            data.element = self.backend.absorb(&mut entry.state, &data.element, &delta.element);
+            for version in delta.versions {
+                let clock = version.clock.clone();
+                let outcome = data.merge_version(&self.backend, version, false);
+                if outcome.stored {
+                    self.backend.retain_clock(&mut entry.state, &clock);
+                }
+                for evicted in &outcome.evicted {
+                    self.backend.release_clock(&mut entry.state, evicted);
+                }
+            }
+        }
+    }
+
+    /// One pull-based anti-entropy exchange: `requester` sends its digest,
+    /// `responder` answers with missing-key frames, `requester` absorbs
+    /// them. Both messages round-trip through the wire codec, exactly as
+    /// they do in gossip mode.
+    pub fn anti_entropy(&self, requester: usize, responder: usize) -> ExchangeStats {
+        let digest = self.build_digest(requester);
+        let digest_bytes = encode_digest(&digest);
+        let decoded_digest = decode_digest(&digest_bytes).expect("locally-encoded digest decodes");
+        let deltas = self.respond_delta(responder, &decoded_digest);
+        let delta_bytes = encode_delta(&self.backend, &deltas);
+        let decoded_deltas =
+            decode_delta(&self.backend, &delta_bytes).expect("locally-encoded delta decodes");
+        let stats = ExchangeStats {
+            digest_keys: digest.len(),
+            keys_shipped: decoded_deltas.len(),
+            digest_bytes: digest_bytes.len(),
+            delta_bytes: delta_bytes.len(),
+        };
+        self.apply_delta(requester, decoded_deltas);
+        stats
+    }
+
+    /// Runs channel-driven gossip: one worker thread per replica, each
+    /// initiating `rounds` pull exchanges with round-robin peers and
+    /// serving incoming digests, all traffic flowing as encoded
+    /// [`Envelope`]s over `crossbeam` channels.
+    pub fn run_gossip(&self, rounds: usize) {
+        let n = self.replicas.len();
+        if n < 2 || rounds == 0 {
+            return;
+        }
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| crossbeam::channel::unbounded::<Envelope>()).unzip();
+        let finished = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for (index, receiver) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let finished = &finished;
+                scope.spawn(move |_| {
+                    self.gossip_worker(index, rounds, &senders, receiver, finished, n);
+                });
+            }
+            // The parent scope's sender clones drop here; workers detect
+            // completion through the `finished` counter.
+            drop(senders);
+        })
+        .expect("gossip workers do not panic");
+    }
+
+    fn gossip_worker(
+        &self,
+        index: usize,
+        rounds: usize,
+        senders: &[crossbeam::channel::Sender<Envelope>],
+        receiver: crossbeam::channel::Receiver<Envelope>,
+        finished: &AtomicUsize,
+        n: usize,
+    ) {
+        let serve = |envelope: Envelope| match envelope.kind {
+            MessageKind::Digest => {
+                let digest = decode_digest(&envelope.payload).expect("peer digests decode");
+                let deltas = self.respond_delta(index, &digest);
+                let payload = encode_delta(&self.backend, &deltas);
+                // A send only fails when the peer already exited its drain
+                // loop; the forked element then stays pinned (conservative
+                // evidence, never unsound).
+                let _ = senders[envelope.from].send(Envelope {
+                    from: index,
+                    kind: MessageKind::Delta,
+                    payload,
+                });
+            }
+            MessageKind::Delta => {
+                let deltas =
+                    decode_delta(&self.backend, &envelope.payload).expect("peer deltas decode");
+                self.apply_delta(index, deltas);
+            }
+        };
+        for round in 0..rounds {
+            let peer = (index + 1 + round % (n - 1)) % n;
+            let digest = encode_digest(&self.build_digest(index));
+            if senders[peer]
+                .send(Envelope { from: index, kind: MessageKind::Digest, payload: digest })
+                .is_err()
+            {
+                break;
+            }
+            // Wait for our delta, serving whatever else arrives meanwhile.
+            while let Ok(envelope) = receiver.recv_timeout(Duration::from_millis(200)) {
+                let was_delta = envelope.kind == MessageKind::Delta;
+                serve(envelope);
+                if was_delta {
+                    break;
+                }
+            }
+        }
+        finished.fetch_add(1, Ordering::AcqRel);
+        // Keep serving peers until every worker is done and our queue has
+        // drained.
+        loop {
+            match receiver.recv_timeout(Duration::from_millis(20)) {
+                Ok(envelope) => serve(envelope),
+                Err(_) => {
+                    if finished.load(Ordering::Acquire) == n {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether every replica holds the identical sibling set for every key
+    /// (values and clocks; element identities are allowed to differ).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        let reference: HashMap<Key, Vec<Vec<u8>>> = self.sibling_snapshot(0);
+        (1..self.replicas.len()).all(|replica| self.sibling_snapshot(replica) == reference)
+    }
+
+    fn sibling_snapshot(&self, replica: usize) -> HashMap<Key, Vec<Vec<u8>>> {
+        let mut snapshot = HashMap::new();
+        for shard_index in 0..self.shard_count {
+            let shard = self.replicas[replica].shard(shard_index).read();
+            for (key, data) in shard.iter() {
+                snapshot.insert(key.clone(), self.encoded_versions(data));
+            }
+        }
+        snapshot
+    }
+
+    /// Quiescent-point compaction, shard by shard: for every key whose
+    /// sibling set has converged to a single version on every replica and
+    /// whose elements have reached equal knowledge, the backend re-mints
+    /// the whole per-key identity universe; keys whose sole surviving
+    /// version is a tombstone are dropped outright.
+    ///
+    /// Takes `&mut self`: compaction rewrites clocks wholesale, so it must
+    /// run at a true quiescent point (no concurrent clients or gossip) —
+    /// the exclusive borrow enforces exactly that.
+    pub fn compact(&mut self) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for shard_index in 0..self.shard_count {
+            let plane = self.plane[shard_index].get_mut();
+            let keys: Vec<Key> = plane.keys().cloned().collect();
+            for key in keys {
+                let entry = plane.get_mut(&key).expect("listed key");
+                // Gather every replica's element and its single version.
+                let mut elements = Vec::with_capacity(self.replicas.len());
+                let mut versions: Vec<Version<B>> = Vec::with_capacity(self.replicas.len());
+                let mut eligible = true;
+                for replica in &self.replicas {
+                    let shard = replica.shard(shard_index).read();
+                    match shard.get(&key) {
+                        Some(data) if data.versions.len() == 1 => {
+                            elements.push(data.element.clone());
+                            versions.push(data.versions[0].clone());
+                        }
+                        _ => {
+                            eligible = false;
+                            break;
+                        }
+                    }
+                }
+                if !eligible || versions.is_empty() {
+                    continue;
+                }
+                let same = versions[1..].iter().all(|version| {
+                    version.value == versions[0].value
+                        && self.backend.relation(&version.clock, &versions[0].clock)
+                            == vstamp_core::Relation::Equal
+                });
+                if !same {
+                    continue;
+                }
+                if versions[0].value.is_none() {
+                    // A fully-settled tombstone: drop the key everywhere.
+                    // This needs no clock recycling, only the quiescence
+                    // the checks above established, so it applies to every
+                    // backend alike (identifier-based ones included).
+                    for replica in &self.replicas {
+                        replica.shard(shard_index).write().remove(&key);
+                    }
+                    plane.remove(&key);
+                    stats.keys_dropped += 1;
+                    continue;
+                }
+                if let Some((fresh_elements, fresh_clock)) = self.backend.compact_quiescent(
+                    &mut entry.state,
+                    &elements,
+                    std::slice::from_ref(&versions[0].clock),
+                ) {
+                    for (replica, fresh) in self.replicas.iter().zip(fresh_elements) {
+                        let mut shard = replica.shard(shard_index).write();
+                        let data = shard.get_mut(&key).expect("eligibility checked");
+                        data.element = fresh;
+                        data.versions[0].clock = fresh_clock.clone();
+                    }
+                    stats.keys_recycled += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Space metrics over the whole cluster.
+    #[must_use]
+    pub fn metrics(&self) -> StoreMetrics {
+        let mut keys = std::collections::HashSet::new();
+        let mut total_versions = 0usize;
+        let mut max_siblings = 0usize;
+        let mut clock_bits_total = 0usize;
+        let mut element_bits_total = 0usize;
+        let mut per_key_samples = 0usize;
+        let mut per_key_total = 0usize;
+        let mut max_key_metadata_bits = 0usize;
+        for replica in &self.replicas {
+            for shard_index in 0..self.shard_count {
+                let shard = replica.shard(shard_index).read();
+                for (key, data) in shard.iter() {
+                    keys.insert(key.clone());
+                    total_versions += data.versions.len();
+                    max_siblings = max_siblings.max(data.versions.len());
+                    let clocks: usize =
+                        data.versions.iter().map(|v| self.backend.clock_bits(&v.clock)).sum();
+                    let element = self.backend.element_bits(&data.element);
+                    clock_bits_total += clocks;
+                    element_bits_total += element;
+                    per_key_samples += 1;
+                    per_key_total += clocks + element;
+                    max_key_metadata_bits = max_key_metadata_bits.max(clocks + element);
+                }
+            }
+        }
+        StoreMetrics {
+            label: self.backend.label(),
+            keys: keys.len(),
+            total_versions,
+            max_siblings,
+            clock_bits_total,
+            element_bits_total,
+            mean_key_metadata_bits: if per_key_samples == 0 {
+                0.0
+            } else {
+                per_key_total as f64 / per_key_samples as f64
+            },
+            max_key_metadata_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DynamicVvBackend, VstampBackend};
+
+    fn full_sweep<B: StoreBackend>(cluster: &Cluster<B>) {
+        let n = cluster.replica_count();
+        for _ in 0..n {
+            for requester in 0..n {
+                for responder in 0..n {
+                    if requester != responder {
+                        cluster.anti_entropy(requester, responder);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_context_supersedes() {
+        let cluster = Cluster::new(VstampBackend::gc(), 3, 4);
+        cluster.put(0, "cart", b"milk".to_vec(), None);
+        let read = cluster.get(0, "cart");
+        assert_eq!(read.values, vec![b"milk".to_vec()]);
+        let context = read.context.expect("key present");
+        cluster.put(0, "cart", b"milk+bread".to_vec(), Some(&context));
+        let read = cluster.get(0, "cart");
+        assert_eq!(read.values, vec![b"milk+bread".to_vec()]);
+        // Another replica sees nothing until anti-entropy runs.
+        assert!(cluster.get(1, "cart").values.is_empty());
+        cluster.anti_entropy(1, 0);
+        assert_eq!(cluster.get(1, "cart").values, vec![b"milk+bread".to_vec()]);
+    }
+
+    #[test]
+    fn concurrent_writes_surface_as_siblings_and_merge() {
+        let cluster = Cluster::new(VstampBackend::gc(), 2, 2);
+        cluster.put(0, "k", b"left".to_vec(), None);
+        cluster.put(1, "k", b"right".to_vec(), None);
+        cluster.anti_entropy(0, 1);
+        let read = cluster.get(0, "k");
+        assert_eq!(read.values.len(), 2, "concurrent writes must both survive");
+        // A context-carrying resolution collapses the siblings.
+        let context = read.context.unwrap();
+        cluster.put(0, "k", b"merged".to_vec(), Some(&context));
+        assert_eq!(cluster.get(0, "k").values, vec![b"merged".to_vec()]);
+        full_sweep(&cluster);
+        assert!(cluster.converged());
+        assert_eq!(cluster.get(1, "k").values, vec![b"merged".to_vec()]);
+    }
+
+    #[test]
+    fn exchanges_skip_in_sync_keys() {
+        let cluster = Cluster::new(VstampBackend::gc(), 2, 2);
+        cluster.put(0, "a", b"1".to_vec(), None);
+        full_sweep(&cluster);
+        // Everything in sync: a further exchange ships nothing.
+        let stats = cluster.anti_entropy(1, 0);
+        assert_eq!(stats.keys_shipped, 0);
+        assert!(stats.digest_bytes > 0);
+    }
+
+    #[test]
+    fn delete_then_compact_drops_the_key() {
+        let mut cluster = Cluster::new(VstampBackend::gc(), 2, 2);
+        cluster.put(0, "gone", b"v".to_vec(), None);
+        full_sweep(&cluster);
+        let context = cluster.get(1, "gone").context.unwrap();
+        cluster.delete(1, "gone", Some(&context));
+        full_sweep(&cluster);
+        assert!(cluster.get(0, "gone").values.is_empty());
+        let stats = cluster.compact();
+        assert_eq!(stats.keys_dropped, 1);
+        assert!(cluster.get(0, "gone").context.is_none());
+        assert_eq!(cluster.metrics().keys, 0);
+    }
+
+    #[test]
+    fn compaction_recycles_quiescent_keys_and_preserves_causality() {
+        let mut cluster = Cluster::new(VstampBackend::gc(), 3, 2);
+        let context = cluster.put(0, "k", b"v1".to_vec(), None);
+        cluster.put(0, "k", b"v2".to_vec(), Some(&context));
+        full_sweep(&cluster);
+        assert!(cluster.converged());
+        let before = cluster.metrics();
+        let stats = cluster.compact();
+        assert_eq!(stats.keys_recycled, 1);
+        let after = cluster.metrics();
+        assert!(
+            after.clock_bits_total + after.element_bits_total
+                <= before.clock_bits_total + before.element_bits_total
+        );
+        // Causality still works after the re-mint: a new write dominates.
+        let read = cluster.get(2, "k");
+        assert_eq!(read.values, vec![b"v2".to_vec()]);
+        cluster.put(2, "k", b"v3".to_vec(), read.context.as_ref());
+        full_sweep(&cluster);
+        assert_eq!(cluster.get(0, "k").values, vec![b"v3".to_vec()]);
+    }
+
+    #[test]
+    fn gossip_mode_converges_like_direct_exchanges() {
+        let cluster = Cluster::new(VstampBackend::gc(), 4, 4);
+        for i in 0..20 {
+            cluster.put(i % 4, &format!("key-{i}"), vec![i as u8], None);
+        }
+        cluster.run_gossip(6);
+        full_sweep(&cluster);
+        assert!(cluster.converged());
+        for i in 0..20 {
+            for replica in 0..4 {
+                assert_eq!(cluster.get(replica, &format!("key-{i}")).values, vec![vec![i as u8]]);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_vv_backend_supports_the_same_protocol() {
+        let cluster = Cluster::new(DynamicVvBackend::new(), 3, 2);
+        cluster.put(0, "k", b"a".to_vec(), None);
+        cluster.put(1, "k", b"b".to_vec(), None);
+        full_sweep(&cluster);
+        assert!(cluster.converged());
+        let read = cluster.get(2, "k");
+        assert_eq!(read.values.len(), 2);
+        let context = read.context.unwrap();
+        cluster.put(2, "k", b"resolved".to_vec(), Some(&context));
+        full_sweep(&cluster);
+        assert_eq!(cluster.get(0, "k").values, vec![b"resolved".to_vec()]);
+        assert_eq!(cluster.metrics().label, "dynamic-vv");
+    }
+
+    #[test]
+    fn vstamp_metadata_stays_bounded_under_churn() {
+        let mut cluster = Cluster::new(VstampBackend::gc(), 3, 2);
+        for round in 0..30 {
+            for replica in 0..3 {
+                let read = cluster.get(replica, "hot");
+                cluster.put(
+                    replica,
+                    "hot",
+                    vec![round as u8, replica as u8],
+                    read.context.as_ref(),
+                );
+            }
+            cluster.anti_entropy(round % 3, (round + 1) % 3);
+        }
+        full_sweep(&cluster);
+        cluster.compact();
+        let metrics = cluster.metrics();
+        assert!(
+            metrics.max_key_metadata_bits < 4096,
+            "stamp metadata exploded: {} bits",
+            metrics.max_key_metadata_bits
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Core store types: versions, sibling sets and the per-replica sharded
+//! data plane.
+//!
+//! Each key holds a **sibling set** — a DVV-style antichain of
+//! `(clock, value)` pairs, one per causally-concurrent write — plus the
+//! replica's *element*, the per-`(key, replica)` handle in the backend's
+//! fork/join/update lifecycle. The sibling-merge rule is the classic one:
+//! an incoming version is discarded when a stored clock strictly dominates
+//! it, it evicts every stored version its clock dominates, and clock-equal
+//! versions deduplicate with a deterministic value tie-break so concurrent
+//! merges converge.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use vstamp_core::Relation;
+
+use crate::backend::StoreBackend;
+
+/// Key type of the store.
+pub type Key = String;
+
+/// Value type of the store (opaque bytes).
+pub type Value = Vec<u8>;
+
+/// One stored version: its causal clock and its value (`None` marks a
+/// tombstone left by a delete).
+#[derive(Debug)]
+pub struct Version<B: StoreBackend> {
+    /// The causal history of the write that produced this version.
+    pub clock: B::Clock,
+    /// The written value; `None` is a delete tombstone.
+    pub value: Option<Value>,
+}
+
+// Manual impls: derive would demand `B: Clone`/`B: PartialEq` although only
+// the associated types appear in the fields.
+impl<B: StoreBackend> Clone for Version<B> {
+    fn clone(&self) -> Self {
+        Version { clock: self.clock.clone(), value: self.value.clone() }
+    }
+}
+
+impl<B: StoreBackend> PartialEq for Version<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.clock == other.clock && self.value == other.value
+    }
+}
+
+/// The outcome of a causal `get`: the live sibling values plus the causal
+/// context a follow-up `put` should carry to supersede them.
+#[derive(Debug)]
+pub struct GetResult<B: StoreBackend> {
+    /// Live (non-tombstone) sibling values, one per concurrent write.
+    pub values: Vec<Value>,
+    /// Join of every stored sibling clock (tombstones included), or `None`
+    /// when the key is absent at this replica.
+    pub context: Option<B::Clock>,
+}
+
+impl<B: StoreBackend> Clone for GetResult<B> {
+    fn clone(&self) -> Self {
+        GetResult { values: self.values.clone(), context: self.context.clone() }
+    }
+}
+
+impl<B: StoreBackend> PartialEq for GetResult<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values && self.context == other.context
+    }
+}
+
+/// Per-key state held by one replica's data plane.
+#[derive(Debug)]
+pub(crate) struct KeyData<B: StoreBackend> {
+    /// The replica's element in this key's fork/join/update universe.
+    pub element: B::Element,
+    /// The sibling set: pairwise-concurrent versions.
+    pub versions: Vec<Version<B>>,
+}
+
+/// The outcome of merging one incoming version into a sibling set.
+pub(crate) struct MergeOutcome<B: StoreBackend> {
+    /// Whether the incoming version was stored.
+    pub stored: bool,
+    /// Clocks of previously-stored versions the merge evicted (their
+    /// evidence pins must be released).
+    pub evicted: Vec<B::Clock>,
+}
+
+impl<B: StoreBackend> KeyData<B> {
+    pub(crate) fn new(element: B::Element) -> Self {
+        KeyData { element, versions: Vec::new() }
+    }
+
+    /// Merges `incoming` into the sibling set.
+    ///
+    /// `local_write` selects the tie-break for clock-equal versions: a
+    /// local client write replaces outright (the replica serializes its own
+    /// sessions), while anti-entropy resolves deterministically by value so
+    /// concurrent merges at different replicas converge to the same set.
+    pub(crate) fn merge_version(
+        &mut self,
+        backend: &B,
+        incoming: Version<B>,
+        local_write: bool,
+    ) -> MergeOutcome<B> {
+        let mut evicted = Vec::new();
+        let mut store_incoming = true;
+        self.versions.retain(|existing| {
+            match backend.relation(&existing.clock, &incoming.clock) {
+                // The stored version is causally included in the incoming
+                // write: evict it.
+                Relation::Dominated => {
+                    evicted.push(existing.clock.clone());
+                    false
+                }
+                Relation::Equal => {
+                    // Same causal position. A local write replaces; a
+                    // remote merge keeps the deterministically-larger value
+                    // so both sides of a crossed exchange agree.
+                    if local_write || incoming.value > existing.value {
+                        evicted.push(existing.clock.clone());
+                        false
+                    } else {
+                        store_incoming = false;
+                        true
+                    }
+                }
+                Relation::Dominates => {
+                    store_incoming = false;
+                    true
+                }
+                Relation::Concurrent => true,
+            }
+        });
+        if store_incoming {
+            self.versions.push(incoming);
+        }
+        MergeOutcome { stored: store_incoming, evicted }
+    }
+
+    /// The causal context of the whole sibling set (tombstones included).
+    pub(crate) fn context(&self, backend: &B) -> Option<B::Clock> {
+        let mut clocks = self.versions.iter().map(|v| &v.clock);
+        let first = clocks.next()?.clone();
+        Some(clocks.fold(first, |acc, clock| backend.join_clocks(&acc, clock)))
+    }
+
+    /// Live sibling values, in stored order.
+    pub(crate) fn live_values(&self) -> Vec<Value> {
+        self.versions.iter().filter_map(|v| v.value.clone()).collect()
+    }
+}
+
+/// One replica's data plane: hash-partitioned shards, each an
+/// independently-locked map. Client gets take a shard read lock; writes and
+/// anti-entropy merges take the write lock of a single shard.
+#[derive(Debug)]
+pub(crate) struct DataPlane<B: StoreBackend> {
+    shards: Vec<RwLock<HashMap<Key, KeyData<B>>>>,
+}
+
+impl<B: StoreBackend> DataPlane<B> {
+    pub(crate) fn new(shard_count: usize) -> Self {
+        DataPlane { shards: (0..shard_count.max(1)).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    pub(crate) fn shard(&self, index: usize) -> &RwLock<HashMap<Key, KeyData<B>>> {
+        &self.shards[index]
+    }
+}
+
+/// FNV-1a — the stable hash used for shard selection and anti-entropy
+/// digests (must agree across replicas and runs, unlike `DefaultHasher`).
+#[must_use]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Shard index of a key.
+#[must_use]
+pub(crate) fn shard_of(key: &str, shard_count: usize) -> usize {
+    (fnv1a(key.as_bytes()) % shard_count as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::VstampBackend;
+
+    #[test]
+    fn merge_keeps_concurrent_and_evicts_dominated() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        let mut data = KeyData::<VstampBackend>::new(elements[0].clone());
+        let (e0, c0) = backend.write(&mut state, &elements[0], None);
+        let outcome = data.merge_version(
+            &backend,
+            Version { clock: c0.clone(), value: Some(b"v0".to_vec()) },
+            true,
+        );
+        assert!(outcome.stored && outcome.evicted.is_empty());
+        data.element = e0;
+
+        // A concurrent write from the other replica becomes a sibling.
+        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        let outcome = data.merge_version(
+            &backend,
+            Version { clock: c1.clone(), value: Some(b"v1".to_vec()) },
+            false,
+        );
+        assert!(outcome.stored && outcome.evicted.is_empty());
+        assert_eq!(data.versions.len(), 2);
+        assert_eq!(data.live_values().len(), 2);
+
+        // A write with the joined context evicts both.
+        let context = data.context(&backend).unwrap();
+        let (_, c2) = backend.write(&mut state, &data.element, Some(&context));
+        let outcome = data.merge_version(
+            &backend,
+            Version { clock: c2, value: Some(b"merged".to_vec()) },
+            true,
+        );
+        assert!(outcome.stored);
+        assert_eq!(outcome.evicted.len(), 2);
+        assert_eq!(data.live_values(), vec![b"merged".to_vec()]);
+    }
+
+    #[test]
+    fn equal_clock_merges_converge_on_the_larger_value() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(1);
+        let (_, clock) = backend.write(&mut state, &elements[0], None);
+        let mut left = KeyData::<VstampBackend>::new(elements[0].clone());
+        let mut right = KeyData::<VstampBackend>::new(elements[0].clone());
+        let a = Version { clock: clock.clone(), value: Some(b"aaa".to_vec()) };
+        let b = Version { clock, value: Some(b"zzz".to_vec()) };
+        left.merge_version(&backend, a.clone(), false);
+        left.merge_version(&backend, b.clone(), false);
+        right.merge_version(&backend, b, false);
+        right.merge_version(&backend, a, false);
+        assert_eq!(left.live_values(), right.live_values());
+        assert_eq!(left.live_values(), vec![b"zzz".to_vec()]);
+    }
+
+    #[test]
+    fn obsolete_incoming_is_dropped() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        // Replica 0 writes, replica 1 writes causally after it (context):
+        // the second clock strictly dominates the first.
+        let (_, c1) = backend.write(&mut state, &elements[0], None);
+        let (e2, c2) = backend.write(&mut state, &elements[1], Some(&c1));
+        assert_eq!(backend.relation(&c1, &c2), Relation::Dominated);
+        let mut data = KeyData::<VstampBackend>::new(e2);
+        data.merge_version(&backend, Version { clock: c2, value: Some(b"new".to_vec()) }, true);
+        let outcome = data.merge_version(
+            &backend,
+            Version { clock: c1, value: Some(b"old".to_vec()) },
+            false,
+        );
+        assert!(!outcome.stored);
+        assert_eq!(data.live_values(), vec![b"new".to_vec()]);
+    }
+
+    #[test]
+    fn fnv_and_sharding_are_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(shard_of("cart:alice", 8), shard_of("cart:alice", 8));
+        assert!(shard_of("x", 4) < 4);
+    }
+}

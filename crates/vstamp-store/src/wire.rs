@@ -1,0 +1,241 @@
+//! Anti-entropy wire protocol: digest and delta messages, chunked into the
+//! length-prefixed frames of [`vstamp_core::codec`].
+//!
+//! The exchange is pull-based and batched:
+//!
+//! 1. the requester sends a **digest** — one `(key, fingerprint)` pair per
+//!    key it holds, where the fingerprint hashes the sibling clock set and
+//!    the element's knowledge;
+//! 2. the responder answers with a **delta** — for every key whose
+//!    fingerprint differs (or which the requester lacks), the responder's
+//!    freshly-forked element plus its full sibling set, each clock and
+//!    element encoded with the backend's codec (the byte-aligned
+//!    [`VarintCodec`](vstamp_core::codec::VarintCodec) for stamps) and
+//!    wrapped in a frame;
+//! 3. the requester absorbs the delta: element `join` plus sibling merge.
+//!
+//! Both message payloads are self-contained byte buffers, so the same
+//! encoding serves the synchronous exchange API and the channel-driven
+//! gossip workers.
+
+use vstamp_core::codec::{read_frame, read_varint, write_frame, write_varint};
+use vstamp_core::DecodeError;
+
+use crate::backend::StoreBackend;
+use crate::store::{Key, Version};
+
+/// One digest line: a key and the fingerprint of the requester's state for
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The key.
+    pub key: Key,
+    /// FNV-1a over the sorted encoded sibling clocks and the element
+    /// fingerprint; equal fingerprints mean the exchange can skip the key.
+    pub fingerprint: u64,
+}
+
+/// The per-key payload of a delta message.
+#[derive(Debug)]
+pub struct KeyDelta<B: StoreBackend> {
+    /// The key being shipped.
+    pub key: Key,
+    /// The responder's element half, forked off for this send and consumed
+    /// by the requester's `absorb`.
+    pub element: B::Element,
+    /// The responder's full sibling set for the key.
+    pub versions: Vec<Version<B>>,
+}
+
+impl<B: StoreBackend> Clone for KeyDelta<B> {
+    fn clone(&self) -> Self {
+        KeyDelta {
+            key: self.key.clone(),
+            element: self.element.clone(),
+            versions: self.versions.clone(),
+        }
+    }
+}
+
+impl<B: StoreBackend> PartialEq for KeyDelta<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.element == other.element && self.versions == other.versions
+    }
+}
+
+/// Message kind tag carried by a gossip envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A digest request (payload: encoded digest entries).
+    Digest,
+    /// A delta response (payload: encoded key deltas).
+    Delta,
+}
+
+/// A routed gossip message: sender index, kind, and the encoded payload.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Index of the sending replica.
+    pub from: usize,
+    /// What the payload encodes.
+    pub kind: MessageKind,
+    /// The encoded digest or delta.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a digest message payload.
+#[must_use]
+pub fn encode_digest(entries: &[DigestEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, entries.len() as u64);
+    for entry in entries {
+        write_frame(&mut out, entry.key.as_bytes());
+        write_varint(&mut out, entry.fingerprint);
+    }
+    out
+}
+
+/// Decodes a digest message payload.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input.
+pub fn decode_digest(bytes: &[u8]) -> Result<Vec<DigestEntry>, DecodeError> {
+    let mut input = bytes;
+    let count = read_varint(&mut input)?;
+    let mut entries = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        let key_bytes = read_frame(&mut input)?;
+        let key = String::from_utf8(key_bytes.to_vec())
+            .map_err(|_| DecodeError::Malformed("key is not valid UTF-8"))?;
+        let fingerprint = read_varint(&mut input)?;
+        entries.push(DigestEntry { key, fingerprint });
+    }
+    if !input.is_empty() {
+        return Err(DecodeError::TrailingData);
+    }
+    Ok(entries)
+}
+
+/// Encodes a delta message payload with the backend's codec.
+#[must_use]
+pub fn encode_delta<B: StoreBackend>(backend: &B, deltas: &[KeyDelta<B>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    write_varint(&mut out, deltas.len() as u64);
+    for delta in deltas {
+        write_frame(&mut out, delta.key.as_bytes());
+        scratch.clear();
+        backend.encode_element(&delta.element, &mut scratch);
+        write_frame(&mut out, &scratch);
+        write_varint(&mut out, delta.versions.len() as u64);
+        for version in &delta.versions {
+            scratch.clear();
+            backend.encode_clock(&version.clock, &mut scratch);
+            write_frame(&mut out, &scratch);
+            match &version.value {
+                Some(value) => {
+                    out.push(1);
+                    write_frame(&mut out, value);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a delta message payload with the backend's codec.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or malformed input (including
+/// malformed embedded clocks or elements).
+pub fn decode_delta<B: StoreBackend>(
+    backend: &B,
+    bytes: &[u8],
+) -> Result<Vec<KeyDelta<B>>, DecodeError> {
+    let mut input = bytes;
+    let count = read_varint(&mut input)?;
+    let mut deltas = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        let key_bytes = read_frame(&mut input)?;
+        let key = String::from_utf8(key_bytes.to_vec())
+            .map_err(|_| DecodeError::Malformed("key is not valid UTF-8"))?;
+        let element = backend.decode_element(read_frame(&mut input)?)?;
+        let version_count = read_varint(&mut input)?;
+        let mut versions = Vec::with_capacity(version_count.min(1 << 16) as usize);
+        for _ in 0..version_count {
+            let clock = backend.decode_clock(read_frame(&mut input)?)?;
+            let (flag, rest) = input.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+            input = rest;
+            let value = match flag {
+                0 => None,
+                1 => Some(read_frame(&mut input)?.to_vec()),
+                _ => return Err(DecodeError::Malformed("unknown version flag")),
+            };
+            versions.push(Version { clock, value });
+        }
+        deltas.push(KeyDelta { key, element, versions });
+    }
+    if !input.is_empty() {
+        return Err(DecodeError::TrailingData);
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{DynamicVvBackend, VstampBackend};
+
+    #[test]
+    fn digest_roundtrip_and_rejections() {
+        let entries = vec![
+            DigestEntry { key: "cart:alice".into(), fingerprint: 0xDEAD_BEEF },
+            DigestEntry { key: "π-keys".into(), fingerprint: u64::MAX },
+            DigestEntry { key: String::new(), fingerprint: 0 },
+        ];
+        let bytes = encode_digest(&entries);
+        assert_eq!(decode_digest(&bytes).unwrap(), entries);
+        assert!(decode_digest(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(9);
+        assert_eq!(decode_digest(&trailing), Err(DecodeError::TrailingData));
+        assert_eq!(decode_digest(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn delta_roundtrip_both_backends() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        let (element, clock) = backend.write(&mut state, &elements[0], None);
+        let deltas = vec![KeyDelta::<VstampBackend> {
+            key: "k".into(),
+            element,
+            versions: vec![
+                Version { clock: clock.clone(), value: Some(b"hello".to_vec()) },
+                Version { clock, value: None },
+            ],
+        }];
+        let bytes = encode_delta(&backend, &deltas);
+        assert_eq!(decode_delta(&backend, &bytes).unwrap(), deltas);
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_delta(&backend, &bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+
+        let dv = DynamicVvBackend::new();
+        let (mut state, elements) = dv.new_key(2);
+        let (element, clock) = dv.write(&mut state, &elements[1], None);
+        let deltas = vec![KeyDelta::<DynamicVvBackend> {
+            key: "vv".into(),
+            element,
+            versions: vec![Version { clock, value: Some(vec![1, 2, 3]) }],
+        }];
+        let bytes = encode_delta(&dv, &deltas);
+        assert_eq!(decode_delta(&dv, &bytes).unwrap(), deltas);
+    }
+}

@@ -1,0 +1,126 @@
+//! The classic shopping-cart scenario on `vstamp-store` — the canonical
+//! sibling-merge workload of Dotted Version Vectors, driven here by version
+//! stamps (no replica identifiers, no counters):
+//!
+//! 1. Alice and Bob share one cart key replicated across three store nodes.
+//! 2. Both update the cart concurrently at different replicas: neither
+//!    write may overwrite the other, so after anti-entropy the cart holds
+//!    two **siblings**.
+//! 3. A client reads both siblings, merges them (union of the items) and
+//!    writes back with the read context — the merged cart supersedes both.
+//! 4. After the cluster settles, quiescent-point compaction re-mints the
+//!    key's entire identity universe: metadata returns to seed size.
+//!
+//! Run with `cargo run --example kv_shopping_cart`.
+
+use vstamp::{Cluster, VstampBackend};
+
+fn cart(items: &[&str]) -> Vec<u8> {
+    items.join(",").into_bytes()
+}
+
+fn items(value: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(value);
+    let mut items: Vec<String> =
+        text.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+    items.sort();
+    items
+}
+
+fn main() {
+    // Three store replicas, version-stamp clocks with frontier GC.
+    let mut cluster = Cluster::new(VstampBackend::gc(), 3, 4);
+    let key = "cart:alice+bob";
+
+    // Alice starts the cart at replica 0.
+    let read = cluster.get(0, key);
+    cluster.put(0, key, cart(&["milk"]), read.context.as_ref());
+    println!("alice @ replica 0: puts [milk]");
+
+    // The cart replicates to replica 2, where Bob shops.
+    cluster.anti_entropy(2, 0);
+    let bob_read = cluster.get(2, key);
+    println!(
+        "bob   @ replica 2: sees {:?}",
+        bob_read.values.iter().map(|v| items(v)).collect::<Vec<_>>()
+    );
+
+    // Concurrently: Alice adds bread (against her old read), Bob adds beer
+    // (against his). Neither knows of the other's update.
+    let alice_read = cluster.get(0, key);
+    cluster.put(0, key, cart(&["milk", "bread"]), alice_read.context.as_ref());
+    cluster.put(2, key, cart(&["milk", "beer"]), bob_read.context.as_ref());
+    println!("alice @ replica 0: puts [milk, bread]   (concurrent)");
+    println!("bob   @ replica 2: puts [milk, beer]    (concurrent)");
+
+    // Anti-entropy spreads both writes everywhere.
+    for _ in 0..2 {
+        for requester in 0..3 {
+            for responder in 0..3 {
+                if requester != responder {
+                    cluster.anti_entropy(requester, responder);
+                }
+            }
+        }
+    }
+
+    // Replica 1 now surfaces both concurrent carts as siblings — no update
+    // was lost, and the store did not invent a winner.
+    let read = cluster.get(1, key);
+    let siblings: Vec<Vec<String>> = read.values.iter().map(|v| items(v)).collect();
+    println!("client @ replica 1: siblings {siblings:?}");
+    assert_eq!(siblings.len(), 2, "both concurrent updates must survive");
+
+    // The client merges the siblings (union) and writes back with the read
+    // context: the merge causally covers both, so they collapse.
+    let mut merged: Vec<String> = siblings.into_iter().flatten().collect();
+    merged.sort();
+    merged.dedup();
+    let merged_value = merged.join(",").into_bytes();
+    cluster.put(1, key, merged_value, read.context.as_ref());
+    println!("client @ replica 1: merges into {merged:?}");
+
+    for _ in 0..2 {
+        for requester in 0..3 {
+            for responder in 0..3 {
+                if requester != responder {
+                    cluster.anti_entropy(requester, responder);
+                }
+            }
+        }
+    }
+    assert!(cluster.converged(), "anti-entropy must converge");
+    for replica in 0..3 {
+        let read = cluster.get(replica, key);
+        assert_eq!(read.values.len(), 1);
+        assert_eq!(items(&read.values[0]), merged);
+    }
+    println!("all replicas agree on {merged:?}");
+
+    // Quiescent-point compaction re-mints the identity universe: the cart's
+    // causal metadata returns to seed size, ready for the next round of
+    // concurrent shopping.
+    let before = cluster.metrics();
+    let stats = cluster.compact();
+    let after = cluster.metrics();
+    println!(
+        "compaction recycled {} key(s): mean per-key metadata {:.0} -> {:.0} bits",
+        stats.keys_recycled, before.mean_key_metadata_bits, after.mean_key_metadata_bits
+    );
+    assert_eq!(stats.keys_recycled, 1);
+    assert!(after.mean_key_metadata_bits <= before.mean_key_metadata_bits);
+
+    // Causality still tracks across the recycled universe.
+    let read = cluster.get(2, key);
+    cluster.put(2, key, cart(&["milk", "bread", "beer", "chips"]), read.context.as_ref());
+    for requester in 0..3 {
+        for responder in 0..3 {
+            if requester != responder {
+                cluster.anti_entropy(requester, responder);
+            }
+        }
+    }
+    let read = cluster.get(0, key);
+    assert_eq!(read.values.len(), 1);
+    println!("bob adds chips after compaction: {:?}", items(&read.values[0]));
+}

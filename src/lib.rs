@@ -10,8 +10,12 @@
 //! * [`baselines`] (`vstamp-baselines`) — version vectors (fixed and
 //!   dynamic), vector clocks, dotted version vectors, random-id causal sets;
 //! * [`itc`] (`vstamp-itc`) — Interval Tree Clocks, the successor mechanism;
+//! * [`store`] (`vstamp-store`) — the causally-consistent replicated KV
+//!   subsystem: sibling sets resolved by version-stamp (or dynamic-VV)
+//!   clocks, batched anti-entropy over the codec seam;
 //! * [`sim`] (`vstamp-sim`) — workload generators, figure scenarios, the
-//!   causal oracle and the space metrics used by the experiments;
+//!   causal oracle, the store simulation and the space metrics used by the
+//!   experiments;
 //! * [`panasync`] (`vstamp-panasync`) — dependency tracking among file
 //!   copies, the paper's reported application.
 //!
@@ -35,6 +39,7 @@ pub use vstamp_core as core;
 pub use vstamp_itc as itc;
 pub use vstamp_panasync as panasync;
 pub use vstamp_sim as sim;
+pub use vstamp_store as store;
 
 pub use vstamp_baselines::{DottedVersionVector, ReplicaId, VectorClock, VersionVector};
 pub use vstamp_core::{
@@ -44,5 +49,7 @@ pub use vstamp_core::{
     SetStampMechanism, Stamp, StampMechanism, Trace, TreeStamp, TreeStampMechanism, VersionStamp,
     VersionStampMechanism,
 };
+pub use vstamp_core::{BitTrieCodec, StampCodec, VarintCodec};
 pub use vstamp_itc::ItcStamp;
 pub use vstamp_panasync::{FileCopy, Reconciliation, Workspace};
+pub use vstamp_store::{Cluster, DynamicVvBackend, StoreBackend, VstampBackend};

@@ -1,0 +1,267 @@
+//! Offline stand-in for `crossbeam::channel`: unbounded MPMC channels.
+//!
+//! A `Mutex<VecDeque>` plus a `Condvar`, with sender/receiver reference
+//! counting for disconnect detection. Performance is adequate for the
+//! workspace's message-batched anti-entropy traffic (a few messages per
+//! round, each carrying a batched payload); the API mirrors the real crate
+//! so swapping it in requires no code changes.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    available: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of an unbounded channel. Clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel. Clonable (messages are
+/// distributed among receivers, not broadcast — exactly as in crossbeam).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the unsent message back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders still connected).
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Creates an unbounded channel, returning its two halves.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, waking one waiting receiver.
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(message));
+        }
+        self.shared.lock().push_back(message);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake every blocked receiver so it can
+            // observe the disconnect. The lock round-trip orders this
+            // notify after any receiver that checked `senders` but has not
+            // yet parked in `wait` (lost-wakeup race otherwise).
+            drop(self.shared.lock());
+            self.shared.available.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.lock();
+        match queue.pop_front() {
+            Some(message) => Ok(message),
+            None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                Err(TryRecvError::Disconnected)
+            }
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(message) = queue.pop_front() {
+                return Ok(message);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until a message arrives, every sender disconnects, or the
+    /// timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(message) = queue.pop_front() {
+                return Ok(message);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .available
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+
+    /// Drains every message currently queued, without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u64> = rx.try_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded::<&'static str>();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send("late").unwrap();
+            });
+            assert_eq!(rx.recv(), Ok("late"));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded::<u8>();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let mut got = vec![a, b];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,8 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::scope` on top of `std::thread::scope` (stable since
-//! Rust 1.63), which covers the only use in this workspace: spawning one
-//! worker per measurement job and joining them all before returning.
+//! Provides the subset this workspace uses:
+//!
+//! * `crossbeam::scope` on top of `std::thread::scope` (stable since Rust
+//!   1.63) — one worker per measurement job, all joined before returning;
+//! * `crossbeam::channel` — multi-producer multi-consumer unbounded
+//!   channels on a mutex-and-condvar queue, covering `unbounded`,
+//!   `send`/`recv`/`try_recv`/`recv_timeout`, clonable senders *and*
+//!   receivers, and disconnect detection (the anti-entropy gossip transport
+//!   of `vstamp-store`).
 //!
 //! Behavioural note: where real crossbeam captures child panics and returns
 //! them in the `Err` arm, `std::thread::scope` resumes the panic on the
@@ -11,6 +17,8 @@
 //! behaviour.
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 use std::any::Any;
 

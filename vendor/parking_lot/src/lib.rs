@@ -1,8 +1,9 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Wraps `std::sync::Mutex` behind `parking_lot`'s poison-free API so the
-//! workspace compiles without network access. Poisoned locks are recovered
-//! transparently (matching `parking_lot`, which has no poisoning).
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind `parking_lot`'s
+//! poison-free API so the workspace compiles without network access.
+//! Poisoned locks are recovered transparently (matching `parking_lot`,
+//! which has no poisoning).
 
 #![forbid(unsafe_code)]
 
@@ -33,11 +34,53 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Returns a mutable reference to the protected value (no locking
+    /// needed — the exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A reader-writer lock with `parking_lot`'s panic-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available; never returns
+    /// a poison error.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available; never
+    /// returns a poison error.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -52,5 +95,18 @@ mod tests {
         let mut v = Arc::try_unwrap(m).unwrap().into_inner();
         v.sort_unstable();
         assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || *lock.write() += 1);
+            }
+        });
+        assert_eq!(*lock.read(), 4);
+        assert_eq!(Arc::try_unwrap(lock).unwrap().into_inner(), 4);
     }
 }
