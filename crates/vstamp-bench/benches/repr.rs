@@ -217,11 +217,57 @@ fn bench_swar_paths(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 4 skip paths: deep `contains`/`dominates_string` probes that
+/// cross the skip-index threshold (one-pass subtree-end index instead of
+/// per-step sibling re-scans), the batched `dominated_prefix_len` descent
+/// the store's single-string identity collapse runs per evidence pin, and
+/// the SWAR `encoded_bits` word loop the metadata metrics hammer.
+fn bench_skip_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed-skip");
+    group.sample_size(11);
+    for depth in [24usize, 48] {
+        let a = wide_name(2048, depth, 0x2545_F491_4F6C_DD1D);
+        let pa = PackedName::from_name(&a);
+        // Deep probes: existing strings plus their one-extensions (misses).
+        let mut probes: Vec<_> = a.iter().take(16).cloned().collect();
+        for s in a.iter().take(16) {
+            let mut miss = s.clone();
+            miss.push(Bit::One);
+            probes.push(miss);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("deep-dominates", depth),
+            &(pa.clone(), probes.clone()),
+            |bench, (n, probes)| {
+                bench.iter(|| probes.iter().filter(|s| n.dominates_string(s)).count())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deep-contains", depth),
+            &(pa.clone(), probes.clone()),
+            |bench, (n, probes)| bench.iter(|| probes.iter().filter(|s| n.contains(s)).count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dominated-prefix-len", depth),
+            &(pa.clone(), probes),
+            |bench, (n, probes)| {
+                bench
+                    .iter(|| probes.iter().filter_map(|s| n.dominated_prefix_len(s)).sum::<usize>())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("encoded-bits", depth), &pa, |bench, n| {
+            bench.iter(|| n.encoded_bits())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_wide_names,
     bench_deep_chains,
     bench_deep_frontier,
-    bench_swar_paths
+    bench_swar_paths,
+    bench_skip_paths
 );
 criterion_main!(benches);

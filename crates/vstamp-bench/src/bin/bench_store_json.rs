@@ -3,7 +3,9 @@
 //! every backend — version stamps with frontier GC, plain eager version
 //! stamps, and the dynamic version-vector baseline — recording
 //!
-//! * client-op throughput (sessions plus anti-entropy, wall clock),
+//! * client-op throughput (sessions plus anti-entropy, wall clock), plus a
+//!   `throughput` trajectory section comparing against the PR 3 baseline
+//!   numbers so ops/sec per backend is tracked across PRs,
 //! * the per-key metadata curve (mean bits per `(replica, key)` of element
 //!   plus sibling clocks, sampled every epoch),
 //! * the causal-oracle verdict (lost updates, false concurrency,
@@ -11,9 +13,17 @@
 //! * the quiescent-compaction effect,
 //!
 //! and writes `BENCH_STORE.json`. Run with
-//! `cargo run --release -p vstamp-bench --bin bench_store_json`. Set
-//! `VSTAMP_BENCH_SMOKE=1` to shrink to a seconds-scale smoke grid (CI runs
-//! that on every push).
+//! `cargo run --release -p vstamp-bench --bin bench_store_json`. Flags:
+//!
+//! * `--profile` — after the timing pass, re-run every cell with the
+//!   cluster's section profiling enabled (GC vs join vs relation vs codec
+//!   vs locking) and record the per-backend breakdown in a `profile`
+//!   section, making the remaining stamps-vs-baseline gap attributable.
+//!   Profiling is a separate pass so probes never skew the headline
+//!   throughput numbers.
+//! * `--smoke` (or `VSTAMP_BENCH_SMOKE=1`) — shrink to a seconds-scale
+//!   smoke grid (CI runs that on every push; the process exits non-zero
+//!   whenever a run is not causally exact).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,6 +31,24 @@ use std::time::Instant;
 use vstamp_bench::{header, seed_from_args, smoke_mode};
 use vstamp_sim::store_sim::{run_store_sim, StoreSimReport, StoreSimSpec};
 use vstamp_store::{DynamicVvBackend, VstampBackend};
+
+/// The PR this binary's rows are labelled with in the `throughput`
+/// trajectory section; bump when a later PR regenerates the artifact so
+/// earlier rows are preserved as history instead of overwritten.
+const CURRENT_PR: u32 = 4;
+
+/// Throughput recorded by the PR 3 run of this benchmark (default grid,
+/// seed 20020310) — the "before" of the trajectory section. PR 3 ran the
+/// frontier collapse at every merge and re-derived sibling order, context
+/// joins and fingerprints per operation.
+const PR3_BASELINE: &[(&str, &str, f64)] = &[
+    ("partition-heal", "version-stamps-gc", 4009.8),
+    ("partition-heal", "version-stamps", 10138.2),
+    ("partition-heal", "dynamic-vv", 25100.9),
+    ("churn", "version-stamps-gc", 1219.4),
+    ("churn", "version-stamps", 2192.1),
+    ("churn", "dynamic-vv", 18215.8),
+];
 
 struct Row {
     scenario: &'static str,
@@ -67,6 +95,28 @@ fn run_all(scenario: &'static str, spec: &StoreSimSpec, rows: &mut Vec<Row>) {
     push(report, start.elapsed().as_secs_f64());
 }
 
+/// One profiled pass per backend per scenario: the wall-clock section
+/// breakdown rows of the `profile` JSON section.
+fn run_profiled(scenario: &'static str, spec: &StoreSimSpec) -> Vec<String> {
+    let spec = spec.with_profile();
+    let mut rows = Vec::new();
+    let mut push = |report: StoreSimReport| {
+        let p = &report.profile;
+        println!(
+            "  {:<18} gc={:>7.4}s join={:>7.4}s relation={:>7.4}s codec={:>7.4}s lock={:>7.4}s (gc runs: {})",
+            report.backend, p.gc.secs, p.join.secs, p.relation.secs, p.codec.secs, p.lock.secs, p.gc.calls
+        );
+        rows.push(format!(
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"gc_secs\": {:.6}, \"gc_runs\": {}, \"join_secs\": {:.6}, \"relation_secs\": {:.6}, \"codec_secs\": {:.6}, \"lock_secs\": {:.6}}}",
+            scenario, report.backend, p.gc.secs, p.gc.calls, p.join.secs, p.relation.secs, p.codec.secs, p.lock.secs
+        ));
+    };
+    push(run_store_sim(VstampBackend::gc(), &spec));
+    push(run_store_sim(VstampBackend::eager(), &spec));
+    push(run_store_sim(DynamicVvBackend::new(), &spec));
+    rows
+}
+
 fn row_json(row: &Row) -> String {
     let report = &row.report;
     let mut out = String::new();
@@ -97,9 +147,31 @@ fn row_json(row: &Row) -> String {
     out
 }
 
+fn throughput_json(rows: &[Row]) -> String {
+    let mut lines: Vec<String> = PR3_BASELINE
+        .iter()
+        .map(|(scenario, backend, ops)| {
+            format!(
+                "    {{\"pr\": 3, \"scenario\": \"{scenario}\", \"backend\": \"{backend}\", \"ops_per_sec\": {ops:.1}}}"
+            )
+        })
+        .collect();
+    for row in rows {
+        lines.push(format!(
+            "    {{\"pr\": {CURRENT_PR}, \"scenario\": \"{}\", \"backend\": \"{}\", \"ops_per_sec\": {:.1}}}",
+            row.scenario,
+            row.report.backend,
+            row.ops_per_sec()
+        ));
+    }
+    lines.join(",\n")
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args.iter().any(|a| a == "--profile");
     let seed = seed_from_args();
-    let smoke = smoke_mode();
+    let smoke = smoke_mode() || args.iter().any(|a| a == "--smoke");
     println!("seed = {seed}{}", if smoke { " (smoke grid)" } else { "" });
 
     header("vstamp-store — backend comparison (causal KV, anti-entropy)");
@@ -138,11 +210,52 @@ fn main() {
             vv_bits / gc_bits.max(1.0)
         );
     }
+    // Headline: the throughput gap the amortized GC + cached-order sibling
+    // sets close.
+    for scenario in ["partition-heal", "churn"] {
+        let ops = |backend: &str| {
+            rows.iter()
+                .find(|r| r.scenario == scenario && r.report.backend == backend)
+                .map_or(0.0, Row::ops_per_sec)
+        };
+        let (gc, vv) = (ops("version-stamps-gc"), ops("dynamic-vv"));
+        if gc > 0.0 {
+            println!(
+                "{scenario} throughput, version-stamps-gc vs dynamic-vv: {gc:.0} vs {vv:.0} ops/s ({:.2}x gap)",
+                vv / gc
+            );
+        }
+    }
+
+    let profile_rows = if profile {
+        header("profiled pass — wall-clock section breakdown");
+        let mut all = Vec::new();
+        println!("\npartition-heal:");
+        all.extend(run_profiled("partition-heal", &partition));
+        println!("churn:");
+        all.extend(run_profiled("churn", &churn));
+        all
+    } else {
+        Vec::new()
+    };
 
     let mut json = String::from("{\n  \"benchmark\": \"vstamp-store\",\n");
     writeln!(json, "  \"seed\": {seed},").expect("writing to a String cannot fail");
     writeln!(json, "  \"smoke\": {smoke},").expect("writing to a String cannot fail");
     writeln!(json, "  \"all_exact\": {exact},").expect("writing to a String cannot fail");
+    // The trajectory section only makes sense against the full default
+    // grid — a smoke run would pair full-grid PR 3 baselines with tiny-grid
+    // numbers and read as a fake regression.
+    if !smoke {
+        json.push_str("  \"throughput\": [\n");
+        json.push_str(&throughput_json(&rows));
+        json.push_str("\n  ],\n");
+    }
+    if !profile_rows.is_empty() {
+        json.push_str("  \"profile\": [\n");
+        json.push_str(&profile_rows.join(",\n"));
+        json.push_str("\n  ],\n");
+    }
     json.push_str("  \"results\": [\n");
     let encoded: Vec<String> = rows.iter().map(row_json).collect();
     json.push_str(&encoded.join(",\n"));

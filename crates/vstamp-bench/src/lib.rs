@@ -17,6 +17,7 @@
 //! | E9 simplification | `cargo run -p vstamp-bench --bin simplification`, `cargo bench -p vstamp-bench --bench simplify` |
 //! | E10 ITC comparison | `cargo run -p vstamp-bench --bin itc_comparison` |
 //! | repr ablation | `cargo bench -p vstamp-bench --bench repr` |
+//! | store backends | `cargo run -p vstamp-bench --bin bench_store_json` (`--profile` for the section breakdown), `cargo bench -p vstamp-bench --bench store` |
 //!
 //! The library part holds the small amount of shared code the binaries use
 //! (deterministic seeds and table formatting), so their output is stable

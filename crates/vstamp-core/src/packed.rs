@@ -453,13 +453,26 @@ impl PackedName {
 
     /// Number of bits the shared wire encoding of this name occupies:
     /// one bit per `Empty` tag, two per `Elem`/`Node`.
+    ///
+    /// SWAR word loop: the total is the tag count plus the number of
+    /// non-`Empty` lanes, counted 32 lanes per `u64` word (this runs once
+    /// per stored clock every time the store samples its metadata curve).
     #[must_use]
     pub fn encoded_bits(&self) -> usize {
-        let mut total = 0;
-        for i in 0..self.tags.len() {
-            total += if self.tags.get(i) == EMPTY { 1 } else { 2 };
+        let bytes = self.tags.bytes();
+        let mut non_empty = 0u32;
+        let mut i = 0usize;
+        while i + 8 <= bytes.len() {
+            let word = tag_word(bytes, i);
+            non_empty += ((word | (word >> 1)) & LANE_LO).count_ones();
+            i += 8;
         }
-        total
+        for &byte in &bytes[i..] {
+            let b = u32::from(byte);
+            non_empty += ((b | (b >> 1)) & 0x55).count_ones();
+        }
+        // Padding lanes past the last tag are zero (`Empty`) and count as 0.
+        self.tags.len() + non_empty as usize
     }
 
     /// Raw tag accessor for the encoder; `0 = Empty`, `1 = Elem`, `2 = Node`.
@@ -486,11 +499,6 @@ impl PackedName {
         }
         tags.len = tag_count as u32;
         PackedName::from_tags(tags)
-    }
-
-    /// Index one past the end of the subtree rooted at `start`.
-    fn subtree_end(&self, start: usize) -> usize {
-        self.tags.view().subtree_end(start)
     }
 
     /// Depth of the deepest element (length of the longest string).
@@ -782,38 +790,162 @@ impl PackedName {
         PackedName { tags: out, strings: self.strings, bits: self.bits + self.strings }
     }
 
+    /// Query depth from which [`PackedName::locate`] builds the one-pass
+    /// subtree-end skip index instead of re-scanning sibling subtrees: every
+    /// `One` step otherwise costs a [`TagsView::subtree_end`] scan of the
+    /// zero sibling, which is O(n) per step on one-heavy spines.
+    const SKIP_INDEX_DEPTH: usize = 12;
+
+    /// Walks the trie along `s` and returns the tag of the node the last
+    /// bit lands on, or `None` when the walk falls off the trie.
+    ///
+    /// Shallow queries descend with per-step sibling skips; queries at
+    /// least [`PackedName::SKIP_INDEX_DEPTH`] deep into a spilled name
+    /// precompute the subtree-end index once (pooled scratch, one forward
+    /// pass) and then descend with O(1) lookups — the "subtree-count skip
+    /// index" for one-heavy spines.
+    fn locate(&self, s: &BitString) -> Option<u8> {
+        let view = self.tags.view();
+        if s.len() >= Self::SKIP_INDEX_DEPTH && view.len > INLINE_TAGS {
+            return LOCATE_SCRATCH.with(|cell| {
+                let (ends, open) = &mut *cell.borrow_mut();
+                view.subtree_ends_into(ends, open);
+                let mut i = 0usize;
+                for bit in s.iter() {
+                    if view.tag(i) != NODE {
+                        return None;
+                    }
+                    i = match bit {
+                        Bit::Zero => i + 1,
+                        Bit::One => ends[i + 1] as usize,
+                    };
+                }
+                Some(view.tag(i))
+            });
+        }
+        let mut i = 0usize;
+        for bit in s.iter() {
+            if view.tag(i) != NODE {
+                return None;
+            }
+            i = match bit {
+                Bit::Zero => i + 1,
+                Bit::One => view.subtree_end(i + 1),
+            };
+        }
+        Some(view.tag(i))
+    }
+
     /// Returns `true` when the antichain contains exactly the string `s`
     /// (membership, not domination). Iterative cursor walk.
     #[must_use]
     pub fn contains(&self, s: &BitString) -> bool {
-        let mut i = 0usize;
-        for bit in s.iter() {
-            if self.tags.get(i) != NODE {
-                return false;
-            }
-            i = match bit {
-                Bit::Zero => i + 1,
-                Bit::One => self.subtree_end(i + 1),
-            };
-        }
-        self.tags.get(i) == ELEM
+        self.locate(s) == Some(ELEM)
     }
 
     /// Returns `true` when `{s} ⊑ self`, i.e. some element of the antichain
     /// has `s` as a prefix.
     #[must_use]
     pub fn dominates_string(&self, s: &BitString) -> bool {
+        matches!(self.locate(s), Some(tag) if tag != EMPTY)
+    }
+
+    /// Length of the longest prefix of `s` this antichain dominates
+    /// (`{prefix} ⊑ self`), or `None` when the name is empty (it dominates
+    /// no string at all, `ε` included).
+    ///
+    /// One descent of the trie along `s` — the batched form of calling
+    /// [`PackedName::dominates_string`] on every prefix of `s`, used by
+    /// the store's single-string identity collapse to find the shallowest
+    /// evidence-free re-anchor point without materialising any name.
+    #[must_use]
+    pub fn dominated_prefix_len(&self, s: &BitString) -> Option<usize> {
+        let view = self.tags.view();
+        if view.tag(0) == EMPTY {
+            return None;
+        }
         let mut i = 0usize;
+        let mut len = 0usize;
         for bit in s.iter() {
-            if self.tags.get(i) != NODE {
-                return false;
+            if view.tag(i) != NODE {
+                break;
             }
             i = match bit {
                 Bit::Zero => i + 1,
-                Bit::One => self.subtree_end(i + 1),
+                Bit::One => view.subtree_end(i + 1),
             };
+            if view.tag(i) == EMPTY {
+                break;
+            }
+            len += 1;
         }
-        self.tags.get(i) != EMPTY
+        Some(len)
+    }
+
+    /// The shallowest string of the antichain (ties broken towards the
+    /// preorder-first, i.e. lexicographically smallest, string), or `None`
+    /// when the name is empty.
+    ///
+    /// One pass over the tags with a branch stack — unlike
+    /// [`PackedName::strings`] it never materialises the other strings,
+    /// which makes it the allocation-light way to pick a stamp's *dot* in
+    /// `vstamp-store`.
+    #[must_use]
+    pub fn shallowest_string(&self) -> Option<BitString> {
+        let mut best: Option<BitString> = None;
+        let mut prefix = BitString::empty();
+        let mut open: Vec<bool> = Vec::new();
+        for i in 0..self.tags.len() {
+            match self.tags.get(i) {
+                NODE => {
+                    open.push(false);
+                    prefix.push(Bit::Zero);
+                }
+                tag => {
+                    if tag == ELEM && !best.as_ref().is_some_and(|b| b.len() <= prefix.len()) {
+                        best = Some(prefix.clone());
+                    }
+                    while let Some(in_one) = open.last_mut() {
+                        if *in_one {
+                            open.pop();
+                            prefix.pop();
+                        } else {
+                            *in_one = true;
+                            prefix.pop();
+                            prefix.push(Bit::One);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The name `{s}`: a single-string antichain, built directly in tag
+    /// form (no intermediate [`Name`]).
+    ///
+    /// Preorder shape: each bit of `s` opens a `Node`; a `One` bit's empty
+    /// zero-sibling precedes its subtree, a `Zero` bit's empty one-sibling
+    /// follows it — so the tags are the `Node` spine with inline `Empty`
+    /// tags for `One` bits, the `Elem`, then one trailing `Empty` per
+    /// `Zero` bit.
+    #[must_use]
+    pub fn singleton(s: &BitString) -> PackedName {
+        let mut tags = TagVec::with_tag_capacity(2 * s.len() + 1);
+        let mut trailing = 0usize;
+        for bit in s.iter() {
+            tags.push(NODE);
+            match bit {
+                Bit::One => tags.push(EMPTY),
+                Bit::Zero => trailing += 1,
+            }
+        }
+        tags.push(ELEM);
+        for _ in 0..trailing {
+            tags.push(EMPTY);
+        }
+        PackedName { tags, strings: 1, bits: s.len() as u32 }
     }
 
     /// Converts the antichain set representation into the packed form.
@@ -1083,9 +1215,17 @@ struct ReduceScratch {
     tasks: Vec<Task>,
 }
 
+/// Buffers of the pooled subtree-end index: the `ends` table plus the
+/// open-node stack [`TagsView::subtree_ends_into`] fills it with.
+type LocateScratch = (Vec<u32>, Vec<(u32, u8)>);
+
 thread_local! {
     static REDUCE_SCRATCH: core::cell::RefCell<ReduceScratch> =
         core::cell::RefCell::new(ReduceScratch::default());
+    /// Pooled subtree-end index of [`PackedName::locate`]'s deep-query path
+    /// (the skip index is rebuilt per query but its buffers are reused).
+    static LOCATE_SCRATCH: core::cell::RefCell<LocateScratch> =
+        const { core::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 enum CombineKind {
@@ -1360,6 +1500,106 @@ mod tests {
             let shrunk_p = PackedName::from_name(&shrunk);
             assert_eq!(shrunk_p.leq(&joined_p), shrunk.leq(&joined_n));
             assert_eq!(joined_p.leq(&shrunk_p), joined_n.leq(&shrunk));
+        }
+    }
+
+    #[test]
+    fn shallowest_string_and_singleton_agree_with_name() {
+        assert_eq!(PackedName::empty().shallowest_string(), None);
+        for lit in SAMPLES {
+            let (n, p) = (name(lit), packed(lit));
+            let expected = n.iter().min_by_key(|s| s.len()).cloned();
+            assert_eq!(p.shallowest_string(), expected, "shallowest mismatch for {lit}");
+        }
+        // Shallower strings on later (one-side) branches must win over an
+        // earlier deeper leftmost string.
+        let tricky = packed("{000, 0010, 01}");
+        assert_eq!(tricky.shallowest_string(), Some("01".parse().unwrap()));
+        for s in ["ε", "0", "1", "01", "110", "0010", "11111"] {
+            let bs: BitString = s.parse().unwrap();
+            let single = PackedName::singleton(&bs);
+            assert_eq!(single.to_name(), Name::from_string(bs.clone()));
+            assert_eq!(single.string_count(), 1);
+            assert_eq!(single.bit_size(), bs.len());
+            assert_eq!(single.shallowest_string(), Some(bs));
+        }
+    }
+
+    #[test]
+    fn dominated_prefix_len_agrees_with_per_prefix_domination() {
+        let queries: Vec<BitString> =
+            ["ε", "0", "1", "01", "011", "0110", "110", "111111", "000111"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
+        for lit in SAMPLES {
+            let (n, p) = (name(lit), packed(lit));
+            for s in &queries {
+                let expected = if n.is_empty() {
+                    None
+                } else {
+                    // Longest dominated prefix by brute force.
+                    Some(
+                        (0..=s.len())
+                            .rev()
+                            .find(|&l| n.dominates_string(&BitString::from_bits(s.iter().take(l))))
+                            .expect("non-empty names dominate ε"),
+                    )
+                };
+                assert_eq!(
+                    p.dominated_prefix_len(s),
+                    expected,
+                    "dominated_prefix_len mismatch {lit} / {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_index_locate_agrees_with_shallow_walk() {
+        // A spilled name (beyond INLINE_TAGS) plus queries deeper than the
+        // skip-index threshold exercise the indexed path of `locate`.
+        let mut n = Name::empty();
+        let mut spine = BitString::empty();
+        for i in 0..40 {
+            let mut s = spine.clone();
+            s.push(if i % 3 == 0 { Bit::Zero } else { Bit::One });
+            n.insert(s);
+            spine.push(if i % 3 == 0 { Bit::One } else { Bit::Zero });
+        }
+        n.insert(spine.clone());
+        let p = PackedName::from_name(&n);
+        assert!(p.node_count() > INLINE_TAGS);
+        for s in n.iter() {
+            assert!(p.contains(s) && p.dominates_string(s));
+            let mut deeper = s.clone();
+            deeper.push(Bit::One);
+            assert!(!p.contains(&deeper));
+            assert_eq!(p.dominates_string(&deeper), n.dominates_string(&deeper));
+            if let Some(parent) = s.parent() {
+                assert_eq!(p.contains(&parent), n.contains(&parent));
+                assert_eq!(p.dominates_string(&parent), n.dominates_string(&parent));
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_bits_swar_matches_per_tag_count() {
+        let mut big = Name::empty();
+        let mut s = BitString::empty();
+        for i in 0..150 {
+            s.push(if i % 2 == 0 { Bit::Zero } else { Bit::One });
+            // Branch off with the bit the next round will *not* take, so
+            // the inserted strings stay a genuine antichain.
+            let mut t = s.clone();
+            t.push(if (i + 1) % 2 == 0 { Bit::One } else { Bit::Zero });
+            big.insert(t);
+        }
+        for p in [packed("{}"), packed("{ε}"), packed("{00, 011, 1}"), PackedName::from_name(&big)]
+        {
+            let expected: usize =
+                (0..p.node_count()).map(|i| if p.tag(i) == EMPTY { 1 } else { 2 }).sum();
+            assert_eq!(p.encoded_bits(), expected);
         }
     }
 

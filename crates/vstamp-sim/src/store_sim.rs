@@ -24,10 +24,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vstamp_store::{Cluster, StoreBackend, StoreMetrics};
+use vstamp_store::{Cluster, ProfileSnapshot, StoreBackend, StoreMetrics};
 
 /// Parameters of a store simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreSimSpec {
     /// Number of store replicas.
     pub replicas: usize,
@@ -49,6 +49,9 @@ pub struct StoreSimSpec {
     pub stale_percent: u32,
     /// Random seed.
     pub seed: u64,
+    /// Enables the cluster's wall-clock section profiling (GC / join /
+    /// relation / codec / lock); the snapshot lands in the report.
+    pub profile: bool,
 }
 
 impl StoreSimSpec {
@@ -65,7 +68,15 @@ impl StoreSimSpec {
             delete_percent: 5,
             stale_percent: 20,
             seed,
+            profile: false,
         }
+    }
+
+    /// The same spec with profiling switched on.
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
     }
 
     /// The churn scenario: no partitions, constant all-to-all gossip, many
@@ -82,6 +93,7 @@ impl StoreSimSpec {
             delete_percent: 10,
             stale_percent: 35,
             seed,
+            profile: false,
         }
     }
 }
@@ -109,6 +121,9 @@ pub struct StoreSimReport {
     pub final_metrics: StoreMetrics,
     /// Mean per-`(replica, key)` metadata bits, sampled once per epoch.
     pub metadata_curve: Vec<f64>,
+    /// Wall-clock section breakdown (zeros unless the spec enabled
+    /// profiling).
+    pub profile: ProfileSnapshot,
 }
 
 impl StoreSimReport {
@@ -193,6 +208,9 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
     let backend_label = backend.label();
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
+    if spec.profile {
+        cluster.enable_profiling();
+    }
     let mut oracle = Oracle::default();
     let mut next_id = 1u64;
     let mut sessions = 0usize;
@@ -327,6 +345,7 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         keys_recycled: compaction.keys_recycled + compaction.keys_dropped,
         final_metrics: cluster.metrics(),
         metadata_curve,
+        profile: cluster.profile_snapshot(),
     }
 }
 
@@ -399,5 +418,112 @@ mod tests {
         let a = run_store_sim(VstampBackend::gc(), &spec);
         let b = run_store_sim(VstampBackend::gc(), &spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gc_watermarks_trade_no_causal_exactness() {
+        use vstamp_store::GcWatermarks;
+        // The amortization claim, oracle-enforced: collapse-every-merge and
+        // heavily deferred collapse run the identical schedule with zero
+        // lost updates, false concurrency or resurrections, and once
+        // anti-entropy settles (full sweeps + forced flush at the
+        // compaction boundary) the deferred run's metadata lands within a
+        // whisker of the aggressive run's.
+        for spec in [StoreSimSpec::partition_heal(5, 10, 97), StoreSimSpec::churn(4, 14, 23)] {
+            let aggressive =
+                run_store_sim(VstampBackend::gc_with(GcWatermarks::aggressive()), &spec);
+            let lazy = run_store_sim(VstampBackend::gc_with(GcWatermarks::lazy()), &spec);
+            for report in [&aggressive, &lazy] {
+                assert!(
+                    report.is_exact(),
+                    "watermark run must stay exact: lost={} false_conc={} resurrect={} converged={}",
+                    report.lost_updates,
+                    report.false_concurrency,
+                    report.resurrections,
+                    report.converged
+                );
+            }
+            assert_eq!(aggressive.keys_recycled, lazy.keys_recycled);
+            let (a, l) = (
+                aggressive.final_metrics.mean_key_metadata_bits,
+                lazy.final_metrics.mean_key_metadata_bits,
+            );
+            assert!(
+                l <= a * 1.25 + 64.0,
+                "deferred GC must converge towards aggressive metadata: lazy {l:.1} vs aggressive {a:.1} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_gc_converges_to_identical_metadata_once_fully_settled() {
+        use vstamp_store::{Cluster, GcWatermarks, VstampBackend};
+        // When every key fully settles (all siblings resolved, cluster
+        // converged), compaction re-mints each key's universe
+        // deterministically — so aggressive and lazy watermarks end with
+        // byte-identical metadata, whatever their collapse schedules did
+        // in between.
+        let run = |watermarks: GcWatermarks| {
+            let mut cluster = Cluster::new(VstampBackend::gc_with(watermarks), 3, 2);
+            for round in 0..10u8 {
+                for replica in 0..3usize {
+                    for key in ["a", "b"] {
+                        let read = cluster.get(replica, key);
+                        cluster.put(
+                            replica,
+                            key,
+                            vec![round, replica as u8],
+                            read.context.as_ref(),
+                        );
+                    }
+                }
+                cluster.anti_entropy(usize::from(round) % 3, (usize::from(round) + 1) % 3);
+            }
+            // Sync fully so the resolver's context covers every sibling,
+            // resolve every key at one replica, then settle fully.
+            for _ in 0..4 {
+                for a in 0..3 {
+                    for b in 0..3 {
+                        if a != b {
+                            cluster.anti_entropy(a, b);
+                        }
+                    }
+                }
+            }
+            for key in ["a", "b"] {
+                let read = cluster.get(0, key);
+                cluster.put(0, key, b"settled".to_vec(), read.context.as_ref());
+            }
+            for _ in 0..4 {
+                for a in 0..3 {
+                    for b in 0..3 {
+                        if a != b {
+                            cluster.anti_entropy(a, b);
+                        }
+                    }
+                }
+            }
+            assert!(cluster.converged());
+            let stats = cluster.compact();
+            assert_eq!(stats.keys_recycled, 2, "fully-settled keys must re-mint");
+            cluster.metrics()
+        };
+        let aggressive = run(GcWatermarks::aggressive());
+        let lazy = run(GcWatermarks::lazy());
+        assert_eq!(aggressive.clock_bits_total, lazy.clock_bits_total);
+        assert_eq!(aggressive.element_bits_total, lazy.element_bits_total);
+        assert_eq!(aggressive.mean_key_metadata_bits, lazy.mean_key_metadata_bits);
+    }
+
+    #[test]
+    fn profiled_runs_report_section_breakdown() {
+        let spec = StoreSimSpec::partition_heal(4, 6, 5).with_profile();
+        let report = run_store_sim(VstampBackend::gc(), &spec);
+        assert!(report.is_exact());
+        assert!(report.profile.join.calls > 0);
+        assert!(report.profile.codec.calls > 0);
+        // Unprofiled runs stay at zero.
+        let quiet = run_store_sim(VstampBackend::gc(), &StoreSimSpec::partition_heal(4, 6, 5));
+        assert_eq!(quiet.profile.join.calls, 0);
     }
 }

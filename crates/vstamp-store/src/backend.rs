@@ -12,10 +12,17 @@
 //!   (sender keeps one half, the other rides the delta) and merging is a
 //!   `join` — the decentralized encoding of gossip in the fork/join/update
 //!   transition system, with **no identifiers and no counters anywhere**.
-//!   With GC enabled, every merge applies the PR 2 frontier-evidence
-//!   collapse, where the evidence now also pins every *stored version
-//!   clock* (a stored sibling is a live reference to its event markers, so
-//!   its subtree must not be re-minted while it can still be compared).
+//!   With GC enabled, merges apply the PR 2 frontier-evidence collapse
+//!   **amortized behind [`GcWatermarks`]**: every merge still shrinks the
+//!   element to its cover (bounded size), but the evidence-gated collapse
+//!   that re-anchors identity to a shallower subtree runs only when a
+//!   key's merge count or element size crosses its watermark, plus a
+//!   forced pass at the compaction boundary. The evidence pins every live
+//!   element *and* every stored version clock (a stored sibling is a live
+//!   reference to its event markers, so its subtree must not be re-minted
+//!   while it can still be compared); pins are kept in the packed
+//!   representation so maintaining them costs a byte-compare and a packed
+//!   join, not a set conversion.
 //! * [`DynamicVvBackend`] (`dynamic-vv`) — dotted-version-vector-style
 //!   sibling resolution over the dynamic version-vector baseline: every
 //!   incarnation takes a fresh globally-unique identifier from a per-key
@@ -29,13 +36,16 @@
 //! dominate exactly the versions the client had seen.
 
 use core::fmt;
+use std::sync::Arc;
 
 use vstamp_core::codec::{self, StampCodec, VarintCodec};
-use vstamp_core::gc::{collapse, shrink_to_covers, stamp_footprint, FrontierEvidence};
-use vstamp_core::{DecodeError, Name, PackedName, Relation, VersionStamp};
+use vstamp_core::gc::{collapse, shrink_to_covers, FrontierEvidence};
+use vstamp_core::{DecodeError, PackedName, Relation, Stamp, VersionStamp};
 
 use vstamp_baselines::{DynamicVersionVectorMechanism, DynamicVvElement, ReplicaId, VersionVector};
 use vstamp_core::Mechanism as _;
+
+use crate::profile::StoreProfile;
 
 /// Per-key causal machinery the store is generic over. See the
 /// [module docs](self) for the two shipped implementations.
@@ -83,6 +93,22 @@ pub trait StoreBackend: Send + Sync + 'static {
         local: &Self::Element,
         shipped: &Self::Element,
     ) -> Self::Element;
+
+    /// A deferred-maintenance pass over one replica's element: backends
+    /// with amortized GC run their full collapse here regardless of
+    /// watermarks (the store calls it at the compaction boundary). Returns
+    /// the rewritten element, or `None` when nothing changed.
+    fn flush_gc(
+        &self,
+        _state: &mut Self::KeyState,
+        _element: &Self::Element,
+    ) -> Option<Self::Element> {
+        None
+    }
+
+    /// Hands the backend the cluster's profiling sink so backend-internal
+    /// sections (the GC) can be attributed. Default: ignore.
+    fn attach_profile(&mut self, _profile: Arc<StoreProfile>) {}
 
     /// Classifies two version clocks.
     fn relation(&self, left: &Self::Clock, right: &Self::Clock) -> Relation;
@@ -169,34 +195,111 @@ fn fork_tree(replicas: usize) -> Vec<VersionStamp> {
 /// incomparable, while a re-read context acquires the dot and strictly
 /// dominates it.
 fn element_dot(element: &VersionStamp) -> PackedName {
-    let strings = element.id_name().strings();
-    let shallowest = strings
-        .iter()
-        .min_by_key(|s| s.len())
-        .expect("live elements own at least one identity string")
-        .clone();
-    PackedName::from_name(&Name::from_string(shallowest))
+    let shallowest = element
+        .id_name()
+        .shallowest_string()
+        .expect("live elements own at least one identity string");
+    PackedName::singleton(&shallowest)
+}
+
+/// The evidence footprint of one stamp, in the packed representation: the
+/// join of its update and id components (for the store's identity-carrier
+/// elements the update is empty, so this is the id itself).
+fn packed_footprint(stamp: &VersionStamp) -> PackedName {
+    if stamp.update_name().is_empty() {
+        stamp.id_name().clone()
+    } else {
+        stamp.update_name().join(stamp.id_name())
+    }
+}
+
+/// Discards surplus identity of an identity-carrier element: the packed
+/// fast path of [`shrink_to_covers`]. With an empty update the cover set is
+/// empty and the shrink keeps exactly the shallowest id string (the seed of
+/// future identity); stamps with a non-empty update take the generic path.
+fn shrink_identity(stamp: &VersionStamp) -> VersionStamp {
+    if !stamp.update_name().is_empty() {
+        return shrink_to_covers(stamp);
+    }
+    if stamp.id_name().string_count() <= 1 {
+        return stamp.clone();
+    }
+    let shallowest = stamp.id_name().shallowest_string().expect("live ids are non-empty");
+    Stamp::from_parts_unchecked(PackedName::empty(), PackedName::singleton(&shallowest))
+}
+
+/// Cost-model knobs of the amortized frontier GC: a key runs the full
+/// evidence-gated collapse when **either** watermark is crossed — after
+/// `merge_interval` element merges since the last collapse, or as soon as
+/// the element's wire size reaches `element_bits`. Between collapses every
+/// merge still cover-shrinks the element (one identity string), so only
+/// the string's *depth* drifts until the next collapse re-anchors it.
+///
+/// Lower watermarks spend CPU to keep dots shallow (smaller clocks);
+/// higher watermarks trade a few bits of per-key metadata for write/merge
+/// throughput. See the README "Performance" section for measured guidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcWatermarks {
+    /// Collapse after this many merges since the last collapse.
+    pub merge_interval: u32,
+    /// Collapse as soon as the element's encoded size reaches this many
+    /// bits.
+    pub element_bits: u32,
+}
+
+impl Default for GcWatermarks {
+    /// The store default: collapse every fourth merge, sooner when the
+    /// element outgrows 16 wire bits (≈ identity depth 5, which directly
+    /// bounds the depth of freshly-minted dots). Measured on the
+    /// `bench_store_json` grid: per-key metadata lands *below* the
+    /// collapse-every-merge PR 3 numbers — the write-side bits check
+    /// collapses more proactively than absorb-only GC did — at roughly
+    /// double its partition-heal throughput.
+    fn default() -> Self {
+        GcWatermarks { merge_interval: 4, element_bits: 16 }
+    }
+}
+
+impl GcWatermarks {
+    /// Collapse at every merge and never on the write path (the bits
+    /// watermark is disabled) — exactly the PR 3 behaviour, the reference
+    /// point of the amortization tests and A/B runs.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        GcWatermarks { merge_interval: 1, element_bits: u32::MAX }
+    }
+
+    /// Defer aggressively: collapse only every 32nd merge or past 512
+    /// element bits. Used by the oracle tests to show deferral never
+    /// trades causal exactness.
+    #[must_use]
+    pub fn lazy() -> Self {
+        GcWatermarks { merge_interval: 32, element_bits: 512 }
+    }
 }
 
 /// Per-key coordination state of [`VstampBackend`]: a refcounted multiset
 /// of pinned footprints — one per live element (replica-held or in flight)
 /// and one per stored version clock — which is exactly the frontier
-/// evidence the PR 2 collapse needs, maintained incrementally.
+/// evidence the PR 2 collapse needs. Footprints stay in the packed
+/// representation: pin/unpin is a byte-compare scan, and the set-form
+/// conversion happens once per *collapse*, not once per transition.
 #[derive(Debug, Default)]
 pub struct VstampKeyState {
-    pins: Vec<(Name, u32)>,
+    pins: Vec<(PackedName, u32)>,
+    merges_since_gc: u32,
     degraded: bool,
 }
 
 impl VstampKeyState {
-    fn pin(&mut self, name: Name) {
+    fn pin(&mut self, name: PackedName) {
         match self.pins.iter_mut().find(|(pinned, _)| *pinned == name) {
             Some((_, count)) => *count += 1,
             None => self.pins.push((name, 1)),
         }
     }
 
-    fn unpin(&mut self, name: &Name) {
+    fn unpin(&mut self, name: &PackedName) {
         match self.pins.iter().position(|(pinned, _)| pinned == name) {
             Some(index) => {
                 self.pins[index].1 -= 1;
@@ -211,25 +314,12 @@ impl VstampKeyState {
         }
     }
 
-    /// Evidence footprint of everything pinned except one occurrence each
-    /// of `left` and `right` (the two footprints a join consumes). `left`
-    /// and `right` may coincide (degenerate self-absorbs): both skips then
-    /// come out of the same entry, saturating at zero.
-    fn evidence_without(&self, left: &Name, right: &Name) -> FrontierEvidence {
-        let mut skip_left = 1u32;
-        let mut skip_right = 1u32;
-        FrontierEvidence::from_footprints(self.pins.iter().flat_map(|(name, count)| {
-            let mut occurrences = *count;
-            if name == left && skip_left > 0 && occurrences > 0 {
-                skip_left -= 1;
-                occurrences -= 1;
-            }
-            if name == right && skip_right > 0 && occurrences > 0 {
-                skip_right -= 1;
-                occurrences -= 1;
-            }
-            std::iter::repeat(name).take(occurrences.min(1) as usize)
-        }))
+    /// Evidence footprint of everything currently pinned. Called with the
+    /// element under collapse *not* pinned, so the pins are exactly the
+    /// rest of the frontier: the other live elements, every in-flight fork
+    /// half, and every stored version clock.
+    fn evidence(&self) -> FrontierEvidence {
+        FrontierEvidence::from_packed_footprints(self.pins.iter().map(|(name, _)| name))
     }
 
     /// Whether evidence tracking lost sync and GC is disabled for this key.
@@ -239,27 +329,34 @@ impl VstampKeyState {
     }
 }
 
-/// The version-stamp backend; see the [module docs](self). `GC` selects
-/// whether merges apply the frontier-evidence collapse (the PR 2 policy) on
-/// top of eager Section-6 reduction.
+/// The version-stamp backend; see the [module docs](self). `gc` selects
+/// whether (and how often, via [`GcWatermarks`]) merges apply the
+/// frontier-evidence collapse on top of eager Section-6 reduction.
 #[derive(Debug, Clone, Default)]
 pub struct VstampBackend<C = VarintCodec> {
     codec: C,
-    gc: bool,
+    gc: Option<GcWatermarks>,
+    profile: Option<Arc<StoreProfile>>,
 }
 
 impl VstampBackend<VarintCodec> {
     /// Eager reduction only — the Section-6 mechanism verbatim.
     #[must_use]
     pub fn eager() -> Self {
-        VstampBackend { codec: VarintCodec, gc: false }
+        VstampBackend { codec: VarintCodec, gc: None, profile: None }
     }
 
-    /// Eager reduction plus frontier-evidence GC at every merge (the
-    /// store default).
+    /// Eager reduction plus amortized frontier-evidence GC at the default
+    /// [`GcWatermarks`] (the store default).
     #[must_use]
     pub fn gc() -> Self {
-        VstampBackend { codec: VarintCodec, gc: true }
+        Self::gc_with(GcWatermarks::default())
+    }
+
+    /// Eager reduction plus frontier-evidence GC at explicit watermarks.
+    #[must_use]
+    pub fn gc_with(watermarks: GcWatermarks) -> Self {
+        VstampBackend { codec: VarintCodec, gc: Some(watermarks), profile: None }
     }
 }
 
@@ -268,12 +365,60 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> VstampBackend<C>
     /// [`StampCodec`] implementation frames the replication traffic).
     #[must_use]
     pub fn with_codec(codec: C) -> Self {
-        VstampBackend { codec, gc: true }
+        VstampBackend { codec, gc: Some(GcWatermarks::default()), profile: None }
     }
-}
 
-fn clock_footprint(clock: &PackedName) -> Name {
-    clock.to_name()
+    /// Runs the evidence-gated collapse on a freshly cover-shrunk element.
+    ///
+    /// The store's identity carriers (empty update, single-string id after
+    /// cover shrinking) take a packed-native fast path: for a one-string id
+    /// `{s}`, the generic [`collapse`] reduces to *truncating `s` at the
+    /// shallowest prefix no pinned footprint dominates* — computable with
+    /// one trie descent per pin and zero set-representation conversions.
+    /// Non-carrier shapes fall back to the generic evidence collapse.
+    fn collapse_element(&self, state: &mut VstampKeyState, element: &VersionStamp) -> VersionStamp {
+        let _timer = self.profile.as_deref().map(|p| p.time(&p.gc));
+        state.merges_since_gc = 0;
+        if element.update_name().is_empty() && element.id_name().string_count() == 1 {
+            let s = element
+                .id_name()
+                .shallowest_string()
+                .expect("live elements own at least one identity string");
+            // Longest prefix of `s` the rest of the frontier still pins;
+            // one deeper is the shallowest legal re-anchor point.
+            let mut blocked: Option<usize> = None;
+            for (pin, _) in &state.pins {
+                if let Some(len) = pin.dominated_prefix_len(&s) {
+                    blocked = Some(blocked.map_or(len, |b| b.max(len)));
+                    if blocked == Some(s.len()) {
+                        break;
+                    }
+                }
+            }
+            let new_len = blocked.map_or(0, |len| len + 1);
+            if new_len >= s.len() {
+                return element.clone();
+            }
+            let truncated = vstamp_core::BitString::from_bits(s.iter().take(new_len));
+            return Stamp::from_parts_unchecked(
+                PackedName::empty(),
+                PackedName::singleton(&truncated),
+            );
+        }
+        let evidence = state.evidence();
+        shrink_identity(&collapse(element, &evidence))
+    }
+
+    /// Whether the amortized-GC cost model says this key is due a collapse.
+    fn collapse_due(&self, state: &VstampKeyState, element: &VersionStamp) -> Option<()> {
+        let watermarks = self.gc.as_ref()?;
+        if state.degraded {
+            return None;
+        }
+        (state.merges_since_gc >= watermarks.merge_interval
+            || element.id_name().encoded_bits() as u32 >= watermarks.element_bits)
+            .then_some(())
+    }
 }
 
 impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for VstampBackend<C> {
@@ -282,18 +427,22 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
     type Clock = PackedName;
 
     fn label(&self) -> &'static str {
-        if self.gc {
+        if self.gc.is_some() {
             "version-stamps-gc"
         } else {
             "version-stamps"
         }
     }
 
+    fn attach_profile(&mut self, profile: Arc<StoreProfile>) {
+        self.profile = Some(profile);
+    }
+
     fn new_key(&self, replicas: usize) -> (Self::KeyState, Vec<Self::Element>) {
         let elements = fork_tree(replicas);
         let mut state = VstampKeyState::default();
         for element in &elements {
-            state.pin(stamp_footprint(element));
+            state.pin(packed_footprint(element));
         }
         (state, elements)
     }
@@ -304,6 +453,28 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         element: &Self::Element,
         context: Option<&Self::Clock>,
     ) -> (Self::Element, Self::Clock) {
+        // Bits-watermark check *before* forking: a deep element would mint
+        // an equally deep dot into the version's clock, where deferred
+        // depth becomes persistent metadata. Collapsing here is sound —
+        // the element has not forked yet, so no in-flight marker of this
+        // write exists for the collapse to re-mint (the absorb-side
+        // collapse has the same property: it runs before the result is
+        // pinned and never touches unpinned markers' subtrees only when
+        // evidence frees them).
+        let collapsed;
+        let element = if self
+            .gc
+            .as_ref()
+            .is_some_and(|w| element.id_name().encoded_bits() as u32 >= w.element_bits)
+            && !state.degraded
+        {
+            state.unpin(&packed_footprint(element));
+            collapsed = self.collapse_element(state, element);
+            state.pin(packed_footprint(&collapsed));
+            &collapsed
+        } else {
+            element
+        };
         // Every write *spends* one fork half of the element's identity on
         // the version: the dot is globally unique (no two writes ever mint
         // the same one, Invariant I2), the version's clock is the client's
@@ -316,8 +487,8 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
             Some(context) => context.join(&marker),
             None => marker,
         };
-        state.unpin(&stamp_footprint(element));
-        state.pin(stamp_footprint(&kept));
+        state.unpin(&packed_footprint(element));
+        state.pin(packed_footprint(&kept));
         (kept, clock)
     }
 
@@ -327,9 +498,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         element: &Self::Element,
     ) -> (Self::Element, Self::Element) {
         let (kept, shipped) = element.fork();
-        state.unpin(&stamp_footprint(element));
-        state.pin(stamp_footprint(&kept));
-        state.pin(stamp_footprint(&shipped));
+        state.unpin(&packed_footprint(element));
+        state.pin(packed_footprint(&kept));
+        state.pin(packed_footprint(&shipped));
         (kept, shipped)
     }
 
@@ -339,24 +510,35 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         local: &Self::Element,
         shipped: &Self::Element,
     ) -> Self::Element {
-        let local_footprint = stamp_footprint(local);
-        let shipped_footprint = stamp_footprint(shipped);
-        let joined = local.join(shipped);
+        state.unpin(&packed_footprint(local));
+        state.unpin(&packed_footprint(shipped));
         // Cover shrinking is unconditionally sound for identity-carrier
         // elements (empty update): the dropped strings carry no markers,
         // and every re-minting path is evidence-gated. Without it the
         // absorbed fork halves accumulate one string per exchange — the
-        // measured fragmentation wall.
-        let result = if self.gc && !state.degraded {
-            let evidence = state.evidence_without(&local_footprint, &shipped_footprint);
-            shrink_to_covers(&collapse(&joined, &evidence))
-        } else {
-            shrink_to_covers(&joined)
-        };
-        state.unpin(&local_footprint);
-        state.unpin(&shipped_footprint);
-        state.pin(stamp_footprint(&result));
+        // measured fragmentation wall. It runs at *every* merge; only the
+        // evidence-gated collapse below is amortized.
+        let mut result = shrink_identity(&local.join(shipped));
+        state.merges_since_gc += 1;
+        if self.collapse_due(state, &result).is_some() {
+            result = self.collapse_element(state, &result);
+        }
+        state.pin(packed_footprint(&result));
         result
+    }
+
+    fn flush_gc(
+        &self,
+        state: &mut Self::KeyState,
+        element: &Self::Element,
+    ) -> Option<Self::Element> {
+        if self.gc.is_none() || state.degraded {
+            return None;
+        }
+        state.unpin(&packed_footprint(element));
+        let rewritten = self.collapse_element(state, &shrink_identity(element));
+        state.pin(packed_footprint(&rewritten));
+        (&rewritten != element).then_some(rewritten)
     }
 
     fn relation(&self, left: &Self::Clock, right: &Self::Clock) -> Relation {
@@ -368,11 +550,11 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
     }
 
     fn retain_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
-        state.pin(clock_footprint(clock));
+        state.pin(clock.clone());
     }
 
     fn release_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
-        state.unpin(&clock_footprint(clock));
+        state.unpin(clock);
     }
 
     fn compact_quiescent(
@@ -393,12 +575,12 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         let fresh = fork_tree(elements.len());
         *state = VstampKeyState::default();
         for element in &fresh {
-            state.pin(stamp_footprint(element));
+            state.pin(packed_footprint(element));
         }
         let fresh_clock = PackedName::epsilon();
         // One pin per replica storing the surviving version.
         for _ in elements {
-            state.pin(clock_footprint(&fresh_clock));
+            state.pin(fresh_clock.clone());
         }
         Some((fresh, fresh_clock))
     }
@@ -686,6 +868,63 @@ mod tests {
         assert!(merged.validate().is_ok());
         assert!(!state.is_degraded());
         let _ = kept;
+    }
+
+    #[test]
+    fn amortized_gc_defers_then_collapses_at_the_watermark() {
+        // merge_interval 3, element_bits effectively off: the first two
+        // absorbs only cover-shrink, the third runs the collapse.
+        let backend =
+            VstampBackend::gc_with(GcWatermarks { merge_interval: 3, element_bits: u32::MAX });
+        let (mut state, elements) = backend.new_key(2);
+        let mut local = elements[0].clone();
+        let mut depths = Vec::new();
+        for _ in 0..6 {
+            let (kept, shipped) = backend.detach(&mut state, &local);
+            local = backend.absorb(&mut state, &kept, &shipped);
+            depths.push(local.id_name().bit_size());
+        }
+        assert!(!state.is_degraded());
+        // Depth must not grow monotonically: the watermark collapse
+        // re-anchors the identity every third merge.
+        let max = depths.iter().copied().max().unwrap();
+        assert!(max < 16, "watermark collapse failed to bound identity depth: {depths:?}");
+        let eager = VstampBackend::gc_with(GcWatermarks::aggressive());
+        let (mut estate, eelements) = eager.new_key(2);
+        let mut elocal = eelements[0].clone();
+        for _ in 0..6 {
+            let (kept, shipped) = eager.detach(&mut estate, &elocal);
+            elocal = eager.absorb(&mut estate, &kept, &shipped);
+        }
+        // The deferred run never exceeds the eager run by more than the
+        // watermark-worth of uncollapsed forks.
+        assert!(local.id_name().bit_size() <= elocal.id_name().bit_size() + 3 * 2);
+    }
+
+    #[test]
+    fn flush_gc_collapses_regardless_of_watermark() {
+        let backend = VstampBackend::gc_with(GcWatermarks::lazy());
+        let (mut state, elements) = backend.new_key(1);
+        let mut element = elements[0].clone();
+        // Deepen the identity with writes whose versions are then dropped.
+        let mut clocks = Vec::new();
+        for _ in 0..8 {
+            let (next, clock) = backend.write(&mut state, &element, None);
+            backend.retain_clock(&mut state, &clock);
+            clocks.push(clock);
+            element = next;
+        }
+        for clock in &clocks {
+            backend.release_clock(&mut state, clock);
+        }
+        let before = element.id_name().bit_size();
+        let flushed = backend.flush_gc(&mut state, &element).expect("lazy key must collapse");
+        assert!(flushed.id_name().bit_size() < before);
+        assert!(!state.is_degraded());
+        // Eager backend has no GC to flush.
+        let eager = VstampBackend::eager();
+        let (mut estate, eelements) = eager.new_key(1);
+        assert!(eager.flush_gc(&mut estate, &eelements[0]).is_none());
     }
 
     #[test]

@@ -22,12 +22,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::backend::StoreBackend;
-use crate::store::{fnv1a, shard_of, DataPlane, GetResult, Key, KeyData, Value, Version};
+use crate::profile::{ProfileSnapshot, StoreProfile};
+use crate::store::{shard_of, DataPlane, GetResult, Key, KeyData, StoredVersion, Value, Version};
 use crate::wire::{
     decode_delta, decode_digest, encode_delta, encode_digest, DigestEntry, Envelope, KeyDelta,
     MessageKind,
@@ -84,6 +86,8 @@ pub struct CompactionStats {
     pub keys_recycled: usize,
     /// Fully-deleted keys dropped from every replica.
     pub keys_dropped: usize,
+    /// `(key, replica)` elements rewritten by the forced GC pass.
+    pub elements_flushed: usize,
 }
 
 /// A replicated KV cluster over one [`StoreBackend`]. See the
@@ -94,6 +98,7 @@ pub struct Cluster<B: StoreBackend> {
     replicas: Vec<DataPlane<B>>,
     plane: Vec<Mutex<HashMap<Key, KeyPlane<B>>>>,
     shard_count: usize,
+    profile: Arc<StoreProfile>,
 }
 
 impl<B: StoreBackend> Cluster<B> {
@@ -108,7 +113,24 @@ impl<B: StoreBackend> Cluster<B> {
             replicas: (0..replicas).map(|_| DataPlane::new(shard_count)).collect(),
             plane: (0..shard_count).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_count,
+            profile: Arc::new(StoreProfile::default()),
         }
+    }
+
+    /// Switches on wall-clock attribution (GC / join / relation / codec /
+    /// lock sections) for this cluster and its backend. Off by default;
+    /// when off every probe is a single relaxed load.
+    pub fn enable_profiling(&mut self) {
+        self.profile.enable();
+        let profile = Arc::clone(&self.profile);
+        self.backend.attach_profile(profile);
+    }
+
+    /// The accumulated profile (all zeros unless
+    /// [`Cluster::enable_profiling`] was called).
+    #[must_use]
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        self.profile.snapshot()
     }
 
     /// The backend in force.
@@ -130,14 +152,16 @@ impl<B: StoreBackend> Cluster<B> {
     }
 
     /// Causal read at one replica: the live sibling values plus the context
-    /// a follow-up [`Cluster::put`] should carry.
+    /// a follow-up [`Cluster::put`] should carry. The context is the sibling
+    /// set's cached join — no clock is folded on the read path.
     #[must_use]
     pub fn get(&self, replica: usize, key: &str) -> GetResult<B> {
         let shard = self.replicas[replica].shard(shard_of(key, self.shard_count)).read();
         match shard.get(key) {
-            Some(data) => {
-                GetResult { values: data.live_values(), context: data.context(&self.backend) }
-            }
+            Some(data) => GetResult {
+                values: data.siblings.live_values(),
+                context: data.siblings.context().cloned(),
+            },
             None => GetResult { values: Vec::new(), context: None },
         }
     }
@@ -171,77 +195,60 @@ impl<B: StoreBackend> Cluster<B> {
         context: Option<&B::Clock>,
     ) -> B::Clock {
         let shard_index = shard_of(key, self.shard_count);
-        let mut plane = self.plane[shard_index].lock();
-        let entry = plane.entry(key.to_owned()).or_insert_with(|| {
+        let (mut plane, mut shard) = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+            (self.plane[shard_index].lock(), self.replicas[replica].shard(shard_index).write())
+        };
+        // The common case is an already-known key: probe before allocating
+        // an owned copy for the map entry.
+        if !plane.contains_key(key) {
             let (state, elements) = self.backend.new_key(self.replicas.len());
-            KeyPlane { state, unclaimed: elements.into_iter().map(Some).collect() }
-        });
-        let mut shard = self.replicas[replica].shard(shard_index).write();
-        let data = shard.entry(key.to_owned()).or_insert_with(|| {
-            KeyData::new(
-                entry.unclaimed[replica].take().expect("initial element claimed exactly once"),
-            )
-        });
-        let (advanced, clock) = self.backend.write(&mut entry.state, &data.element, context);
-        data.element = advanced;
-        let outcome =
-            data.merge_version(&self.backend, Version { clock: clock.clone(), value }, true);
-        if outcome.stored {
+            plane.insert(
+                key.to_owned(),
+                KeyPlane { state, unclaimed: elements.into_iter().map(Some).collect() },
+            );
+        }
+        let entry = plane.get_mut(key).expect("inserted above");
+        if !shard.contains_key(key) {
+            let element =
+                entry.unclaimed[replica].take().expect("initial element claimed exactly once");
+            shard.insert(key.to_owned(), KeyData::new(&self.backend, element));
+        }
+        let data = shard.get_mut(key).expect("inserted above");
+        let (advanced, clock) = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+            self.backend.write(&mut entry.state, data.element(), context)
+        };
+        data.set_element(&self.backend, advanced);
+        let incoming = StoredVersion::new(&self.backend, Version { clock: clock.clone(), value });
+        let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
+        // Memoized-order fast path: a context that equals the sibling
+        // set's cached context supersedes every sibling without a single
+        // relation check (the fresh dot makes each domination strict).
+        let (stored, evicted) = if data.siblings.matches_context(context) {
+            (true, data.siblings.replace_all(&self.backend, incoming))
+        } else {
+            let outcome = data.siblings.merge_version(&self.backend, incoming, true);
+            (outcome.stored, outcome.evicted)
+        };
+        if stored {
             self.backend.retain_clock(&mut entry.state, &clock);
         }
-        for evicted in &outcome.evicted {
-            self.backend.release_clock(&mut entry.state, evicted);
+        for evicted in &evicted {
+            self.backend.release_clock(&mut entry.state, evicted.clock());
         }
         clock
     }
 
-    /// Fingerprint of one key's state at one replica: the sorted encoded
-    /// sibling clocks plus the element's knowledge. Identical fingerprints
-    /// let an exchange skip the key; crucially the fingerprint covers the
-    /// element's *knowledge*, so exchanges keep flowing until element
-    /// knowledge — not just data — has converged, which is what arms
-    /// quiescent-point compaction.
-    fn fingerprint(&self, data: &KeyData<B>) -> u64 {
-        let encoded = self.encoded_versions(data);
-        let mut all = Vec::new();
-        for bytes in encoded {
-            all.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-            all.extend_from_slice(&bytes);
-        }
-        self.backend.encode_element_knowledge(&data.element, &mut all);
-        fnv1a(&all)
-    }
-
-    /// Canonical per-version byte form (encoded clock, tombstone flag,
-    /// value), sorted — shared by [`Cluster::fingerprint`] (the exchange
-    /// skip decision) and the convergence snapshot so the two can never
-    /// silently diverge.
-    fn encoded_versions(&self, data: &KeyData<B>) -> Vec<Vec<u8>> {
-        let mut encoded: Vec<Vec<u8>> = data
-            .versions
-            .iter()
-            .map(|version| {
-                let mut bytes = Vec::new();
-                self.backend.encode_clock(&version.clock, &mut bytes);
-                bytes.push(u8::from(version.value.is_some()));
-                if let Some(value) = &version.value {
-                    bytes.extend_from_slice(value);
-                }
-                bytes
-            })
-            .collect();
-        encoded.sort();
-        encoded
-    }
-
-    /// The digest of one replica's whole data plane.
+    /// The digest of one replica's whole data plane. Fingerprints read the
+    /// sibling sets' cached hashes — nothing is encoded here.
     #[must_use]
     pub fn build_digest(&self, replica: usize) -> Vec<DigestEntry> {
         let mut entries = Vec::new();
         for shard_index in 0..self.shard_count {
             let shard = self.replicas[replica].shard(shard_index).read();
             for (key, data) in shard.iter() {
-                entries.push(DigestEntry { key: key.clone(), fingerprint: self.fingerprint(data) });
+                entries.push(DigestEntry { key: key.clone(), fingerprint: data.fingerprint() });
             }
         }
         entries.sort_by(|a, b| a.key.cmp(&b.key));
@@ -250,7 +257,8 @@ impl<B: StoreBackend> Cluster<B> {
 
     /// Builds the responder's delta for a requester digest: every key the
     /// responder holds whose fingerprint differs (or which the requester
-    /// lacks) is shipped — forked element plus full sibling set.
+    /// lacks) is shipped — forked element plus the shared sibling set
+    /// (`Arc` bumps, no value copies).
     #[must_use]
     pub fn respond_delta(&self, responder: usize, digest: &[DigestEntry]) -> Vec<KeyDelta<B>> {
         let requested: HashMap<&str, u64> =
@@ -261,23 +269,31 @@ impl<B: StoreBackend> Cluster<B> {
                 let shard = self.replicas[responder].shard(shard_index).read();
                 shard
                     .iter()
-                    .filter(|(key, data)| {
-                        requested.get(key.as_str()) != Some(&self.fingerprint(data))
-                    })
+                    .filter(|(key, data)| requested.get(key.as_str()) != Some(&data.fingerprint()))
                     .map(|(key, _)| key.clone())
                     .collect()
             };
             for key in keys {
-                let mut plane = self.plane[shard_index].lock();
+                let (mut plane, mut shard) = {
+                    let _timer =
+                        self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+                    (
+                        self.plane[shard_index].lock(),
+                        self.replicas[responder].shard(shard_index).write(),
+                    )
+                };
                 let Some(entry) = plane.get_mut(&key) else { continue };
-                let mut shard = self.replicas[responder].shard(shard_index).write();
                 let Some(data) = shard.get_mut(&key) else { continue };
-                let (kept, shipped) = self.backend.detach(&mut entry.state, &data.element);
-                data.element = kept;
+                let (kept, shipped) = {
+                    let _timer =
+                        self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+                    self.backend.detach(&mut entry.state, data.element())
+                };
+                data.set_element(&self.backend, kept);
                 deltas.push(KeyDelta {
                     key: key.clone(),
                     element: shipped,
-                    versions: data.versions.clone(),
+                    versions: data.siblings.iter().cloned().collect(),
                 });
             }
         }
@@ -290,25 +306,38 @@ impl<B: StoreBackend> Cluster<B> {
     pub fn apply_delta(&self, requester: usize, deltas: Vec<KeyDelta<B>>) {
         for delta in deltas {
             let shard_index = shard_of(&delta.key, self.shard_count);
-            let mut plane = self.plane[shard_index].lock();
-            let Some(entry) = plane.get_mut(&delta.key) else { continue };
-            let mut shard = self.replicas[requester].shard(shard_index).write();
-            let data = shard.entry(delta.key.clone()).or_insert_with(|| {
-                KeyData::new(
-                    entry.unclaimed[requester]
-                        .take()
-                        .expect("initial element claimed exactly once"),
+            let (mut plane, mut shard) = {
+                let _timer =
+                    self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+                (
+                    self.plane[shard_index].lock(),
+                    self.replicas[requester].shard(shard_index).write(),
                 )
-            });
-            data.element = self.backend.absorb(&mut entry.state, &data.element, &delta.element);
+            };
+            let Some(entry) = plane.get_mut(&delta.key) else { continue };
+            if !shard.contains_key(&delta.key) {
+                let element = entry.unclaimed[requester]
+                    .take()
+                    .expect("initial element claimed exactly once");
+                shard.insert(delta.key.clone(), KeyData::new(&self.backend, element));
+            }
+            let data = shard.get_mut(&delta.key).expect("inserted above");
+            let absorbed = {
+                let _timer =
+                    self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+                self.backend.absorb(&mut entry.state, data.element(), &delta.element)
+            };
+            data.set_element(&self.backend, absorbed);
+            let _timer =
+                self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
             for version in delta.versions {
-                let clock = version.clock.clone();
-                let outcome = data.merge_version(&self.backend, version, false);
+                let clock = version.clock().clone();
+                let outcome = data.siblings.merge_version(&self.backend, version, false);
                 if outcome.stored {
                     self.backend.retain_clock(&mut entry.state, &clock);
                 }
                 for evicted in &outcome.evicted {
-                    self.backend.release_clock(&mut entry.state, evicted);
+                    self.backend.release_clock(&mut entry.state, evicted.clock());
                 }
             }
         }
@@ -320,12 +349,21 @@ impl<B: StoreBackend> Cluster<B> {
     /// they do in gossip mode.
     pub fn anti_entropy(&self, requester: usize, responder: usize) -> ExchangeStats {
         let digest = self.build_digest(requester);
-        let digest_bytes = encode_digest(&digest);
-        let decoded_digest = decode_digest(&digest_bytes).expect("locally-encoded digest decodes");
+        let enabled = self.profile.is_enabled();
+        let (digest_bytes, decoded_digest) = {
+            let _timer = enabled.then(|| self.profile.time(&self.profile.codec));
+            let bytes = encode_digest(&digest);
+            let decoded = decode_digest(&bytes).expect("locally-encoded digest decodes");
+            (bytes, decoded)
+        };
         let deltas = self.respond_delta(responder, &decoded_digest);
-        let delta_bytes = encode_delta(&self.backend, &deltas);
-        let decoded_deltas =
-            decode_delta(&self.backend, &delta_bytes).expect("locally-encoded delta decodes");
+        let (delta_bytes, decoded_deltas) = {
+            let _timer = enabled.then(|| self.profile.time(&self.profile.codec));
+            let bytes = encode_delta(&self.backend, &deltas);
+            let decoded =
+                decode_delta(&self.backend, &bytes).expect("locally-encoded delta decodes");
+            (bytes, decoded)
+        };
         let stats = ExchangeStats {
             digest_keys: digest.len(),
             keys_shipped: decoded_deltas.len(),
@@ -438,17 +476,22 @@ impl<B: StoreBackend> Cluster<B> {
         for shard_index in 0..self.shard_count {
             let shard = self.replicas[replica].shard(shard_index).read();
             for (key, data) in shard.iter() {
-                snapshot.insert(key.clone(), self.encoded_versions(data));
+                snapshot.insert(key.clone(), data.siblings.canonical_versions());
             }
         }
         snapshot
     }
 
-    /// Quiescent-point compaction, shard by shard: for every key whose
-    /// sibling set has converged to a single version on every replica and
-    /// whose elements have reached equal knowledge, the backend re-mints
-    /// the whole per-key identity universe; keys whose sole surviving
-    /// version is a tombstone are dropped outright.
+    /// Quiescent-point compaction, shard by shard. Two passes per key:
+    ///
+    /// 1. a **forced GC flush** of every replica element — the amortized
+    ///    GC's deferred collapses all land here, so a compaction boundary
+    ///    leaves no watermark debt behind;
+    /// 2. for every key whose sibling set has converged to a single
+    ///    version on every replica and whose elements have reached equal
+    ///    knowledge, the backend re-mints the whole per-key identity
+    ///    universe; keys whose sole surviving version is a tombstone are
+    ///    dropped outright.
     ///
     /// Takes `&mut self`: compaction rewrites clocks wholesale, so it must
     /// run at a true quiescent point (no concurrent clients or gossip) —
@@ -460,16 +503,29 @@ impl<B: StoreBackend> Cluster<B> {
             let keys: Vec<Key> = plane.keys().cloned().collect();
             for key in keys {
                 let entry = plane.get_mut(&key).expect("listed key");
+                // Forced GC pass: clear any deferred collapse debt.
+                for replica in &self.replicas {
+                    let mut shard = replica.shard(shard_index).write();
+                    if let Some(data) = shard.get_mut(&key) {
+                        if let Some(flushed) =
+                            self.backend.flush_gc(&mut entry.state, data.element())
+                        {
+                            data.set_element(&self.backend, flushed);
+                            stats.elements_flushed += 1;
+                        }
+                    }
+                }
                 // Gather every replica's element and its single version.
                 let mut elements = Vec::with_capacity(self.replicas.len());
-                let mut versions: Vec<Version<B>> = Vec::with_capacity(self.replicas.len());
+                let mut versions: Vec<StoredVersion<B>> = Vec::with_capacity(self.replicas.len());
                 let mut eligible = true;
                 for replica in &self.replicas {
                     let shard = replica.shard(shard_index).read();
                     match shard.get(&key) {
-                        Some(data) if data.versions.len() == 1 => {
-                            elements.push(data.element.clone());
-                            versions.push(data.versions[0].clone());
+                        Some(data) if data.siblings.len() == 1 => {
+                            elements.push(data.element().clone());
+                            versions
+                                .push(data.siblings.iter().next().expect("length checked").clone());
                         }
                         _ => {
                             eligible = false;
@@ -481,14 +537,14 @@ impl<B: StoreBackend> Cluster<B> {
                     continue;
                 }
                 let same = versions[1..].iter().all(|version| {
-                    version.value == versions[0].value
-                        && self.backend.relation(&version.clock, &versions[0].clock)
+                    version.version().value == versions[0].version().value
+                        && self.backend.relation(version.clock(), versions[0].clock())
                             == vstamp_core::Relation::Equal
                 });
                 if !same {
                     continue;
                 }
-                if versions[0].value.is_none() {
+                if versions[0].version().value.is_none() {
                     // A fully-settled tombstone: drop the key everywhere.
                     // This needs no clock recycling, only the quiescence
                     // the checks above established, so it applies to every
@@ -503,13 +559,13 @@ impl<B: StoreBackend> Cluster<B> {
                 if let Some((fresh_elements, fresh_clock)) = self.backend.compact_quiescent(
                     &mut entry.state,
                     &elements,
-                    std::slice::from_ref(&versions[0].clock),
+                    std::slice::from_ref(versions[0].clock()),
                 ) {
                     for (replica, fresh) in self.replicas.iter().zip(fresh_elements) {
                         let mut shard = replica.shard(shard_index).write();
                         let data = shard.get_mut(&key).expect("eligibility checked");
-                        data.element = fresh;
-                        data.versions[0].clock = fresh_clock.clone();
+                        data.set_element(&self.backend, fresh);
+                        data.siblings.remint(&self.backend, fresh_clock.clone());
                     }
                     stats.keys_recycled += 1;
                 }
@@ -534,11 +590,11 @@ impl<B: StoreBackend> Cluster<B> {
                 let shard = replica.shard(shard_index).read();
                 for (key, data) in shard.iter() {
                     keys.insert(key.clone());
-                    total_versions += data.versions.len();
-                    max_siblings = max_siblings.max(data.versions.len());
+                    total_versions += data.siblings.len();
+                    max_siblings = max_siblings.max(data.siblings.len());
                     let clocks: usize =
-                        data.versions.iter().map(|v| self.backend.clock_bits(&v.clock)).sum();
-                    let element = self.backend.element_bits(&data.element);
+                        data.siblings.iter().map(|v| self.backend.clock_bits(v.clock())).sum();
+                    let element = self.backend.element_bits(data.element());
                     clock_bits_total += clocks;
                     element_bits_total += element;
                     per_key_samples += 1;
@@ -567,7 +623,7 @@ impl<B: StoreBackend> Cluster<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{DynamicVvBackend, VstampBackend};
+    use crate::backend::{DynamicVvBackend, GcWatermarks, VstampBackend};
 
     fn full_sweep<B: StoreBackend>(cluster: &Cluster<B>) {
         let n = cluster.replica_count();
@@ -662,6 +718,57 @@ mod tests {
         cluster.put(2, "k", b"v3".to_vec(), read.context.as_ref());
         full_sweep(&cluster);
         assert_eq!(cluster.get(0, "k").values, vec![b"v3".to_vec()]);
+    }
+
+    #[test]
+    fn deferred_gc_debt_is_flushed_at_the_compaction_boundary() {
+        // Watermarks that never fire on their own: every collapse is debt
+        // owed to the forced pass in `compact`.
+        let never = GcWatermarks { merge_interval: u32::MAX, element_bits: u32::MAX };
+        let mut cluster = Cluster::new(VstampBackend::gc_with(never), 3, 2);
+        for round in 0..30u8 {
+            for replica in 0..3 {
+                let read = cluster.get(replica, "k");
+                cluster.put(replica, "k", vec![round, replica as u8], read.context.as_ref());
+            }
+            cluster.anti_entropy(usize::from(round) % 3, (usize::from(round) + 1) % 3);
+        }
+        // Leave genuine siblings behind so the key cannot re-mint and the
+        // flush pass is the only collapse route.
+        cluster.put(0, "k", b"left".to_vec(), None);
+        cluster.put(1, "k", b"right".to_vec(), None);
+        full_sweep(&cluster);
+        let before = cluster.metrics().element_bits_total;
+        let stats = cluster.compact();
+        assert_eq!(stats.keys_recycled, 0);
+        assert!(stats.elements_flushed > 0, "deferred collapse debt must flush");
+        assert!(cluster.metrics().element_bits_total < before);
+        // Causality is intact afterwards.
+        let read = cluster.get(0, "k");
+        cluster.put(0, "k", b"final".to_vec(), read.context.as_ref());
+        full_sweep(&cluster);
+        assert_eq!(cluster.get(2, "k").values, vec![b"final".to_vec()]);
+    }
+
+    #[test]
+    fn profiling_sections_accumulate_when_enabled() {
+        let mut cluster = Cluster::new(VstampBackend::gc(), 2, 2);
+        cluster.enable_profiling();
+        for i in 0..8u8 {
+            let read = cluster.get(i as usize % 2, "p");
+            cluster.put(i as usize % 2, "p", vec![i], read.context.as_ref());
+        }
+        cluster.anti_entropy(0, 1);
+        cluster.anti_entropy(1, 0);
+        let snapshot = cluster.profile_snapshot();
+        assert!(snapshot.join.calls > 0);
+        assert!(snapshot.relation.calls > 0);
+        assert!(snapshot.codec.calls > 0);
+        assert!(snapshot.lock.calls > 0);
+        // An unprofiled cluster stays at zero.
+        let quiet = Cluster::new(VstampBackend::gc(), 2, 2);
+        quiet.put(0, "q", b"v".to_vec(), None);
+        assert_eq!(quiet.profile_snapshot().join.calls, 0);
     }
 
     #[test]

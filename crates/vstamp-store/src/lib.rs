@@ -9,10 +9,13 @@
 //!
 //! * [`VstampBackend`] — **version stamps**. Each key is its own
 //!   fork/join/update universe: no replica identifiers, no counters, and
-//!   (with [`VstampBackend::gc`]) the PR 2 frontier-evidence GC firing at
-//!   every anti-entropy merge plus quiescent-point compaction per shard,
-//!   so per-key metadata adapts to the live frontier instead of the
-//!   operation history.
+//!   (with [`VstampBackend::gc`]) the PR 2 frontier-evidence GC amortized
+//!   behind [`GcWatermarks`] — every merge cover-shrinks the element, the
+//!   evidence-gated collapse runs when a key's merge count or element
+//!   size crosses its watermark (plus a forced pass at the compaction
+//!   boundary) — and quiescent-point compaction per shard, so per-key
+//!   metadata adapts to the live frontier instead of the operation
+//!   history.
 //! * [`DynamicVvBackend`] — the dynamic version-vector baseline the paper
 //!   argues against: exact, but every incarnation burns a fresh
 //!   globally-allocated identifier and retired entries accumulate.
@@ -56,12 +59,14 @@
 
 pub mod backend;
 pub mod cluster;
+pub mod profile;
 pub mod store;
 pub mod wire;
 
-pub use backend::{DvvClock, DynamicVvBackend, StoreBackend, VstampBackend};
+pub use backend::{DvvClock, DynamicVvBackend, GcWatermarks, StoreBackend, VstampBackend};
 pub use cluster::{Cluster, CompactionStats, ExchangeStats, StoreMetrics};
-pub use store::{GetResult, Key, Value, Version};
+pub use profile::{ProfileSnapshot, SectionSnapshot, StoreProfile};
+pub use store::{GetResult, Key, StoredVersion, Value, Version};
 pub use wire::{DigestEntry, Envelope, KeyDelta, MessageKind};
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
-//! Core store types: versions, sibling sets and the per-replica sharded
-//! data plane.
+//! Core store types: versions, cached-order sibling sets and the
+//! per-replica sharded data plane.
 //!
 //! Each key holds a **sibling set** — a DVV-style antichain of
 //! `(clock, value)` pairs, one per causally-concurrent write — plus the
@@ -9,8 +9,31 @@
 //! it, it evicts every stored version its clock dominates, and clock-equal
 //! versions deduplicate with a deterministic value tie-break so concurrent
 //! merges converge.
+//!
+//! # Cached order
+//!
+//! Stored versions are shared ([`StoredVersion`] wraps an
+//! `Arc<Version>` plus its canonical clock bytes), and the sibling set
+//! memoizes everything the hot paths used to re-derive per call:
+//!
+//! * the **joined context clock** (what `get` returns and what a follow-up
+//!   `put` carries) is maintained incrementally — one clock join per
+//!   insertion — instead of a fold over the whole set per read;
+//! * each version's **canonical clock bytes** are encoded exactly once;
+//!   digests, deltas and the convergence snapshot borrow them;
+//! * the per-set **order-independent hash** of those bytes is maintained
+//!   in O(1) per mutation, making the anti-entropy fingerprint a constant
+//!   amount of hashing per key instead of a re-encode of every sibling;
+//! * the **pairwise partial order** of stored siblings is an invariant,
+//!   not a cache: the merge rule keeps the set an antichain (all pairs
+//!   concurrent), so the dominance matrix degenerates to two memoized
+//!   fast paths — byte-equal clocks short-circuit to `Equal` with all
+//!   other relations known (`Concurrent`), and a `put` whose context
+//!   equals the cached set context supersedes every sibling with **zero**
+//!   relation checks (its fresh dot makes the domination strict).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use vstamp_core::Relation;
@@ -47,6 +70,94 @@ impl<B: StoreBackend> PartialEq for Version<B> {
     }
 }
 
+/// A shared stored version: the version behind an `Arc` (shipping a
+/// sibling set in a delta bumps refcounts instead of deep-copying values)
+/// plus its canonical clock bytes and content hash, both computed exactly
+/// once when the version enters the cluster (local write or wire decode).
+#[derive(Debug)]
+pub struct StoredVersion<B: StoreBackend> {
+    version: Arc<Version<B>>,
+    clock_bytes: Arc<[u8]>,
+    hash: u64,
+}
+
+impl<B: StoreBackend> StoredVersion<B> {
+    /// Wraps a locally-created version, encoding its clock with the
+    /// backend codec.
+    pub fn new(backend: &B, version: Version<B>) -> Self {
+        let mut bytes = Vec::new();
+        backend.encode_clock(&version.clock, &mut bytes);
+        Self::with_clock_bytes(version, bytes.into())
+    }
+
+    /// Wraps a version decoded from the wire, reusing the already-validated
+    /// clock frame instead of re-encoding (the codec is canonical, so the
+    /// frame equals the local encoding byte for byte).
+    pub(crate) fn with_clock_bytes(version: Version<B>, clock_bytes: Arc<[u8]>) -> Self {
+        let hash = version_hash(&clock_bytes, version.value.as_deref());
+        StoredVersion { version: Arc::new(version), clock_bytes, hash }
+    }
+
+    /// The stored version.
+    #[must_use]
+    pub fn version(&self) -> &Version<B> {
+        &self.version
+    }
+
+    /// The version's clock.
+    #[must_use]
+    pub fn clock(&self) -> &B::Clock {
+        &self.version.clock
+    }
+
+    /// The canonical wire bytes of the clock (encoded once, borrowed by
+    /// digests, deltas and fingerprints).
+    #[must_use]
+    pub fn clock_bytes(&self) -> &[u8] {
+        &self.clock_bytes
+    }
+
+    /// Canonical byte form of the whole version (clock bytes, tombstone
+    /// flag, value) — the convergence-snapshot unit.
+    pub(crate) fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.clock_bytes.len() + 10);
+        out.extend_from_slice(&(self.clock_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.clock_bytes);
+        out.push(u8::from(self.version.value.is_some()));
+        if let Some(value) = &self.version.value {
+            out.extend_from_slice(value);
+        }
+        out
+    }
+}
+
+impl<B: StoreBackend> Clone for StoredVersion<B> {
+    fn clone(&self) -> Self {
+        StoredVersion {
+            version: Arc::clone(&self.version),
+            clock_bytes: Arc::clone(&self.clock_bytes),
+            hash: self.hash,
+        }
+    }
+}
+
+impl<B: StoreBackend> PartialEq for StoredVersion<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && *self.version == *other.version
+    }
+}
+
+/// Content hash of one version, combined order-independently into the
+/// sibling-set fingerprint (so the fingerprint never needs a sort).
+fn version_hash(clock_bytes: &[u8], value: Option<&[u8]>) -> u64 {
+    let mut hash = fnv1a_extend(FNV_OFFSET, &(clock_bytes.len() as u64).to_le_bytes());
+    hash = fnv1a_extend(hash, clock_bytes);
+    match value {
+        Some(value) => fnv1a_extend(fnv1a_extend(hash, &[1]), value),
+        None => fnv1a_extend(hash, &[0]),
+    }
+}
+
 /// The outcome of a causal `get`: the live sibling values plus the causal
 /// context a follow-up `put` should carry to supersede them.
 #[derive(Debug)]
@@ -70,27 +181,105 @@ impl<B: StoreBackend> PartialEq for GetResult<B> {
     }
 }
 
-/// Per-key state held by one replica's data plane.
+/// The sibling set of one key at one replica, with the cached order state
+/// described in the [module docs](self).
 #[derive(Debug)]
-pub(crate) struct KeyData<B: StoreBackend> {
-    /// The replica's element in this key's fork/join/update universe.
-    pub element: B::Element,
-    /// The sibling set: pairwise-concurrent versions.
-    pub versions: Vec<Version<B>>,
+pub(crate) struct SiblingSet<B: StoreBackend> {
+    versions: Vec<StoredVersion<B>>,
+    /// Cached join of every stored clock; `None` iff the set is empty.
+    context: Option<B::Clock>,
+    /// Order-independent combination of the version hashes.
+    versions_hash: u64,
 }
 
-/// The outcome of merging one incoming version into a sibling set.
-pub(crate) struct MergeOutcome<B: StoreBackend> {
-    /// Whether the incoming version was stored.
-    pub stored: bool,
-    /// Clocks of previously-stored versions the merge evicted (their
-    /// evidence pins must be released).
-    pub evicted: Vec<B::Clock>,
-}
+impl<B: StoreBackend> SiblingSet<B> {
+    fn new() -> Self {
+        SiblingSet { versions: Vec::new(), context: None, versions_hash: 0 }
+    }
 
-impl<B: StoreBackend> KeyData<B> {
-    pub(crate) fn new(element: B::Element) -> Self {
-        KeyData { element, versions: Vec::new() }
+    pub(crate) fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &StoredVersion<B>> {
+        self.versions.iter()
+    }
+
+    /// The cached causal context of the whole set (tombstones included).
+    pub(crate) fn context(&self) -> Option<&B::Clock> {
+        self.context.as_ref()
+    }
+
+    /// Whether `context` covers exactly this set: the caller read the set
+    /// as it stands, so a write carrying it supersedes every sibling.
+    pub(crate) fn matches_context(&self, context: Option<&B::Clock>) -> bool {
+        match (context, &self.context) {
+            (Some(provided), Some(cached)) => provided == cached,
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Live sibling values, in stored order.
+    pub(crate) fn live_values(&self) -> Vec<Value> {
+        self.versions.iter().filter_map(|v| v.version.value.clone()).collect()
+    }
+
+    /// Sorted canonical byte forms (convergence snapshot).
+    pub(crate) fn canonical_versions(&self) -> Vec<Vec<u8>> {
+        let mut encoded: Vec<Vec<u8>> =
+            self.versions.iter().map(StoredVersion::canonical_bytes).collect();
+        encoded.sort();
+        encoded
+    }
+
+    /// Order-independent hash of the stored versions, maintained in O(1)
+    /// per mutation; the anti-entropy fingerprint mixes it with the
+    /// element knowledge.
+    pub(crate) fn versions_hash(&self) -> u64 {
+        self.versions_hash
+    }
+
+    fn push(&mut self, backend: &B, incoming: StoredVersion<B>) {
+        self.versions_hash = self.versions_hash.wrapping_add(incoming.hash);
+        self.context = Some(match self.context.take() {
+            Some(context) => backend.join_clocks(&context, incoming.clock()),
+            None => incoming.clock().clone(),
+        });
+        self.versions.push(incoming);
+    }
+
+    fn remove(&mut self, index: usize) -> StoredVersion<B> {
+        let version = self.versions.swap_remove(index);
+        self.versions_hash = self.versions_hash.wrapping_sub(version.hash);
+        version
+    }
+
+    /// Recomputes the cached context after evictions (joins are not
+    /// invertible, so removal cannot update it incrementally).
+    fn refresh_context(&mut self, backend: &B) {
+        let mut clocks = self.versions.iter().map(StoredVersion::clock);
+        self.context = clocks.next().map(|first| {
+            let first = first.clone();
+            clocks.fold(first, |acc, clock| backend.join_clocks(&acc, clock))
+        });
+    }
+
+    /// Evicts every stored sibling and stores `incoming` — the
+    /// matched-context fast path of a `put`. Sound because every stored
+    /// clock is ≤ the set context the caller proved it read, and the
+    /// incoming clock is that context joined with a *fresh* dot, so the
+    /// domination is strict for every sibling.
+    pub(crate) fn replace_all(
+        &mut self,
+        backend: &B,
+        incoming: StoredVersion<B>,
+    ) -> Vec<StoredVersion<B>> {
+        let evicted = std::mem::take(&mut self.versions);
+        self.versions_hash = 0;
+        self.context = None;
+        self.push(backend, incoming);
+        evicted
     }
 
     /// Merges `incoming` into the sibling set.
@@ -102,54 +291,143 @@ impl<B: StoreBackend> KeyData<B> {
     pub(crate) fn merge_version(
         &mut self,
         backend: &B,
-        incoming: Version<B>,
+        incoming: StoredVersion<B>,
         local_write: bool,
     ) -> MergeOutcome<B> {
+        // Memoized fast path: byte-identical clock bytes mean the same
+        // causal position (the codec is canonical), and the antichain
+        // invariant pins its relation to every *other* sibling at
+        // `Concurrent` — no further relation checks needed.
+        if let Some(index) =
+            self.versions.iter().position(|v| v.clock_bytes == incoming.clock_bytes)
+        {
+            return self.resolve_equal(backend, incoming, index, local_write);
+        }
         let mut evicted = Vec::new();
         let mut store_incoming = true;
-        self.versions.retain(|existing| {
-            match backend.relation(&existing.clock, &incoming.clock) {
+        let mut index = 0;
+        while index < self.versions.len() {
+            match backend.relation(self.versions[index].clock(), incoming.clock()) {
                 // The stored version is causally included in the incoming
                 // write: evict it.
                 Relation::Dominated => {
-                    evicted.push(existing.clock.clone());
-                    false
+                    evicted.push(self.remove(index));
                 }
                 Relation::Equal => {
-                    // Same causal position. A local write replaces; a
-                    // remote merge keeps the deterministically-larger value
-                    // so both sides of a crossed exchange agree.
-                    if local_write || incoming.value > existing.value {
-                        evicted.push(existing.clock.clone());
-                        false
-                    } else {
-                        store_incoming = false;
-                        true
-                    }
+                    // Same causal position reached through different wire
+                    // forms (identifier backends): resolve like the
+                    // byte-equal fast path. No eviction can have preceded
+                    // this (a sibling dominated by `incoming` would be
+                    // comparable with its equal), so the cached context is
+                    // still exact.
+                    debug_assert!(evicted.is_empty(), "antichain rules out prior evictions");
+                    return self.resolve_equal(backend, incoming, index, local_write);
                 }
                 Relation::Dominates => {
+                    // A stored dominator: the antichain invariant rules out
+                    // any stored sibling being dominated by `incoming`
+                    // (it would be comparable with the dominator).
                     store_incoming = false;
-                    true
+                    break;
                 }
-                Relation::Concurrent => true,
+                Relation::Concurrent => index += 1,
             }
-        });
+        }
+        if !evicted.is_empty() {
+            self.refresh_context(backend);
+        }
         if store_incoming {
-            self.versions.push(incoming);
+            self.push(backend, incoming);
         }
         MergeOutcome { stored: store_incoming, evicted }
     }
 
-    /// The causal context of the whole sibling set (tombstones included).
-    pub(crate) fn context(&self, backend: &B) -> Option<B::Clock> {
-        let mut clocks = self.versions.iter().map(|v| &v.clock);
-        let first = clocks.next()?.clone();
-        Some(clocks.fold(first, |acc, clock| backend.join_clocks(&acc, clock)))
+    /// Resolves an incoming version against the clock-equal stored sibling
+    /// at `index`.
+    fn resolve_equal(
+        &mut self,
+        backend: &B,
+        incoming: StoredVersion<B>,
+        index: usize,
+        local_write: bool,
+    ) -> MergeOutcome<B> {
+        if local_write || incoming.version.value > self.versions[index].version.value {
+            let evicted = self.remove(index);
+            let refresh = evicted.clock_bytes != incoming.clock_bytes;
+            self.push(backend, incoming);
+            // Byte-identical clocks leave the cached context exact; an
+            // Equal clock in a different wire form (possible only for
+            // identifier backends) conservatively recomputes it.
+            if refresh {
+                self.refresh_context(backend);
+            }
+            MergeOutcome { stored: true, evicted: vec![evicted] }
+        } else {
+            MergeOutcome { stored: false, evicted: Vec::new() }
+        }
     }
 
-    /// Live sibling values, in stored order.
-    pub(crate) fn live_values(&self) -> Vec<Value> {
-        self.versions.iter().filter_map(|v| v.value.clone()).collect()
+    /// Rewrites the single surviving version after a quiescent re-mint.
+    pub(crate) fn remint(&mut self, backend: &B, fresh_clock: B::Clock) {
+        debug_assert_eq!(self.versions.len(), 1, "re-mint requires a settled key");
+        let value = self.versions[0].version.value.clone();
+        let fresh = StoredVersion::new(backend, Version { clock: fresh_clock, value });
+        self.versions.clear();
+        self.versions_hash = 0;
+        self.context = None;
+        self.push(backend, fresh);
+    }
+}
+
+/// Per-key state held by one replica's data plane.
+#[derive(Debug)]
+pub(crate) struct KeyData<B: StoreBackend> {
+    /// The replica's element in this key's fork/join/update universe.
+    element: B::Element,
+    /// Cached wire bytes of the element's knowledge (the digest
+    /// ingredient); refreshed whenever the element changes.
+    knowledge: Vec<u8>,
+    /// The sibling set: pairwise-concurrent versions.
+    pub(crate) siblings: SiblingSet<B>,
+}
+
+/// The outcome of merging one incoming version into a sibling set.
+pub(crate) struct MergeOutcome<B: StoreBackend> {
+    /// Whether the incoming version was stored.
+    pub stored: bool,
+    /// Previously-stored versions the merge evicted (their evidence pins
+    /// must be released).
+    pub evicted: Vec<StoredVersion<B>>,
+}
+
+impl<B: StoreBackend> KeyData<B> {
+    pub(crate) fn new(backend: &B, element: B::Element) -> Self {
+        let mut knowledge = Vec::new();
+        backend.encode_element_knowledge(&element, &mut knowledge);
+        KeyData { element, knowledge, siblings: SiblingSet::new() }
+    }
+
+    pub(crate) fn element(&self) -> &B::Element {
+        &self.element
+    }
+
+    /// Replaces the element, refreshing the cached knowledge bytes.
+    pub(crate) fn set_element(&mut self, backend: &B, element: B::Element) {
+        self.knowledge.clear();
+        backend.encode_element_knowledge(&element, &mut self.knowledge);
+        self.element = element;
+    }
+
+    /// Fingerprint of this key's state: the order-independent sibling hash
+    /// mixed with the element's knowledge. Constant-size hashing per call —
+    /// the per-version work was paid once, when each version entered the
+    /// set. Identical fingerprints let an exchange skip the key;
+    /// crucially the fingerprint covers the element's *knowledge*, so
+    /// exchanges keep flowing until element knowledge — not just data —
+    /// has converged, which is what arms quiescent-point compaction.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let hash = fnv1a_extend(FNV_OFFSET, &self.siblings.versions_hash().to_le_bytes());
+        fnv1a_extend(hash, &self.knowledge)
     }
 }
 
@@ -171,16 +449,25 @@ impl<B: StoreBackend> DataPlane<B> {
     }
 }
 
-/// FNV-1a — the stable hash used for shard selection and anti-entropy
-/// digests (must agree across replicas and runs, unlike `DefaultHasher`).
+/// FNV-1a offset basis — every store hash (sharding, version hashes,
+/// fingerprints) is the same hash family, built on [`fnv1a_extend`].
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Streams `bytes` into a running FNV-1a state.
 #[must_use]
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+pub(crate) fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
     for &byte in bytes {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// FNV-1a — the stable hash used for shard selection and anti-entropy
+/// digests (must agree across replicas and runs, unlike `DefaultHasher`).
+#[must_use]
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
 }
 
 /// Shard index of a key.
@@ -194,42 +481,41 @@ mod tests {
     use super::*;
     use crate::backend::VstampBackend;
 
+    fn stored(
+        backend: &VstampBackend,
+        clock: <VstampBackend as StoreBackend>::Clock,
+        value: Option<&[u8]>,
+    ) -> StoredVersion<VstampBackend> {
+        StoredVersion::new(backend, Version { clock, value: value.map(<[u8]>::to_vec) })
+    }
+
     #[test]
     fn merge_keeps_concurrent_and_evicts_dominated() {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(2);
-        let mut data = KeyData::<VstampBackend>::new(elements[0].clone());
+        let mut data = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
         let (e0, c0) = backend.write(&mut state, &elements[0], None);
-        let outcome = data.merge_version(
-            &backend,
-            Version { clock: c0.clone(), value: Some(b"v0".to_vec()) },
-            true,
-        );
+        let outcome =
+            data.siblings.merge_version(&backend, stored(&backend, c0.clone(), Some(b"v0")), true);
         assert!(outcome.stored && outcome.evicted.is_empty());
-        data.element = e0;
+        data.set_element(&backend, e0);
 
         // A concurrent write from the other replica becomes a sibling.
         let (_, c1) = backend.write(&mut state, &elements[1], None);
-        let outcome = data.merge_version(
-            &backend,
-            Version { clock: c1.clone(), value: Some(b"v1".to_vec()) },
-            false,
-        );
+        let outcome =
+            data.siblings.merge_version(&backend, stored(&backend, c1.clone(), Some(b"v1")), false);
         assert!(outcome.stored && outcome.evicted.is_empty());
-        assert_eq!(data.versions.len(), 2);
-        assert_eq!(data.live_values().len(), 2);
+        assert_eq!(data.siblings.len(), 2);
+        assert_eq!(data.siblings.live_values().len(), 2);
 
         // A write with the joined context evicts both.
-        let context = data.context(&backend).unwrap();
-        let (_, c2) = backend.write(&mut state, &data.element, Some(&context));
-        let outcome = data.merge_version(
-            &backend,
-            Version { clock: c2, value: Some(b"merged".to_vec()) },
-            true,
-        );
+        let context = data.siblings.context().cloned().unwrap();
+        let (_, c2) = backend.write(&mut state, data.element(), Some(&context));
+        let outcome =
+            data.siblings.merge_version(&backend, stored(&backend, c2, Some(b"merged")), true);
         assert!(outcome.stored);
         assert_eq!(outcome.evicted.len(), 2);
-        assert_eq!(data.live_values(), vec![b"merged".to_vec()]);
+        assert_eq!(data.siblings.live_values(), vec![b"merged".to_vec()]);
     }
 
     #[test]
@@ -237,16 +523,17 @@ mod tests {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(1);
         let (_, clock) = backend.write(&mut state, &elements[0], None);
-        let mut left = KeyData::<VstampBackend>::new(elements[0].clone());
-        let mut right = KeyData::<VstampBackend>::new(elements[0].clone());
-        let a = Version { clock: clock.clone(), value: Some(b"aaa".to_vec()) };
-        let b = Version { clock, value: Some(b"zzz".to_vec()) };
-        left.merge_version(&backend, a.clone(), false);
-        left.merge_version(&backend, b.clone(), false);
-        right.merge_version(&backend, b, false);
-        right.merge_version(&backend, a, false);
-        assert_eq!(left.live_values(), right.live_values());
-        assert_eq!(left.live_values(), vec![b"zzz".to_vec()]);
+        let mut left = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
+        let mut right = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
+        let a = stored(&backend, clock.clone(), Some(b"aaa"));
+        let b = stored(&backend, clock, Some(b"zzz"));
+        left.siblings.merge_version(&backend, a.clone(), false);
+        left.siblings.merge_version(&backend, b.clone(), false);
+        right.siblings.merge_version(&backend, b, false);
+        right.siblings.merge_version(&backend, a, false);
+        assert_eq!(left.siblings.live_values(), right.siblings.live_values());
+        assert_eq!(left.siblings.live_values(), vec![b"zzz".to_vec()]);
+        assert_eq!(left.fingerprint(), right.fingerprint());
     }
 
     #[test]
@@ -258,15 +545,39 @@ mod tests {
         let (_, c1) = backend.write(&mut state, &elements[0], None);
         let (e2, c2) = backend.write(&mut state, &elements[1], Some(&c1));
         assert_eq!(backend.relation(&c1, &c2), Relation::Dominated);
-        let mut data = KeyData::<VstampBackend>::new(e2);
-        data.merge_version(&backend, Version { clock: c2, value: Some(b"new".to_vec()) }, true);
-        let outcome = data.merge_version(
-            &backend,
-            Version { clock: c1, value: Some(b"old".to_vec()) },
-            false,
-        );
+        let mut data = KeyData::<VstampBackend>::new(&backend, e2);
+        data.siblings.merge_version(&backend, stored(&backend, c2, Some(b"new")), true);
+        let outcome =
+            data.siblings.merge_version(&backend, stored(&backend, c1, Some(b"old")), false);
         assert!(!outcome.stored);
-        assert_eq!(data.live_values(), vec![b"new".to_vec()]);
+        assert_eq!(data.siblings.live_values(), vec![b"new".to_vec()]);
+    }
+
+    #[test]
+    fn cached_context_tracks_merges_and_evictions() {
+        let backend = VstampBackend::gc();
+        let (mut state, elements) = backend.new_key(2);
+        let mut data = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
+        assert!(data.siblings.matches_context(None));
+        let (_, c0) = backend.write(&mut state, &elements[0], None);
+        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        data.siblings.merge_version(&backend, stored(&backend, c0.clone(), Some(b"a")), true);
+        data.siblings.merge_version(&backend, stored(&backend, c1.clone(), Some(b"b")), false);
+        // Cached context equals the explicit fold.
+        let expected = backend.join_clocks(&c0, &c1);
+        assert_eq!(data.siblings.context(), Some(&expected));
+        assert!(data.siblings.matches_context(Some(&expected)));
+        assert!(!data.siblings.matches_context(Some(&c0)));
+        // The matched-context fast path supersedes everything.
+        let (_, c2) = backend.write(&mut state, data.element(), Some(&expected));
+        let evicted = data.siblings.replace_all(&backend, stored(&backend, c2.clone(), Some(b"m")));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(data.siblings.context(), Some(&c2));
+        assert_eq!(data.siblings.live_values(), vec![b"m".to_vec()]);
+        // Eviction through the slow path refreshes the cache too.
+        let (_, c3) = backend.write(&mut state, data.element(), Some(&c2));
+        data.siblings.merge_version(&backend, stored(&backend, c3.clone(), Some(b"n")), false);
+        assert_eq!(data.siblings.context(), Some(&c3));
     }
 
     #[test]

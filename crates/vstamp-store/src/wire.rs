@@ -17,12 +17,20 @@
 //! Both message payloads are self-contained byte buffers, so the same
 //! encoding serves the synchronous exchange API and the channel-driven
 //! gossip workers.
+//!
+//! Delta assembly *borrows*: a shipped sibling set is a vector of
+//! [`StoredVersion`]s (`Arc` bumps, no value copies), each clock rides its
+//! already-cached canonical bytes, and the decoder hands the validated
+//! clock frame straight back to the stored-version cache instead of
+//! re-encoding.
+
+use std::sync::Arc;
 
 use vstamp_core::codec::{read_frame, read_varint, write_frame, write_varint};
 use vstamp_core::DecodeError;
 
 use crate::backend::StoreBackend;
-use crate::store::{Key, Version};
+use crate::store::{Key, StoredVersion, Version};
 
 /// One digest line: a key and the fingerprint of the requester's state for
 /// it.
@@ -30,8 +38,8 @@ use crate::store::{Key, Version};
 pub struct DigestEntry {
     /// The key.
     pub key: Key,
-    /// FNV-1a over the sorted encoded sibling clocks and the element
-    /// fingerprint; equal fingerprints mean the exchange can skip the key.
+    /// FNV-1a over the sibling-set hash and the element knowledge; equal
+    /// fingerprints mean the exchange can skip the key.
     pub fingerprint: u64,
 }
 
@@ -43,8 +51,8 @@ pub struct KeyDelta<B: StoreBackend> {
     /// The responder's element half, forked off for this send and consumed
     /// by the requester's `absorb`.
     pub element: B::Element,
-    /// The responder's full sibling set for the key.
-    pub versions: Vec<Version<B>>,
+    /// The responder's full sibling set for the key (shared, not copied).
+    pub versions: Vec<StoredVersion<B>>,
 }
 
 impl<B: StoreBackend> Clone for KeyDelta<B> {
@@ -117,7 +125,8 @@ pub fn decode_digest(bytes: &[u8]) -> Result<Vec<DigestEntry>, DecodeError> {
     Ok(entries)
 }
 
-/// Encodes a delta message payload with the backend's codec.
+/// Encodes a delta message payload with the backend's codec. Clock frames
+/// reuse each version's cached canonical bytes — nothing is re-encoded.
 #[must_use]
 pub fn encode_delta<B: StoreBackend>(backend: &B, deltas: &[KeyDelta<B>]) -> Vec<u8> {
     let mut out = Vec::new();
@@ -130,10 +139,8 @@ pub fn encode_delta<B: StoreBackend>(backend: &B, deltas: &[KeyDelta<B>]) -> Vec
         write_frame(&mut out, &scratch);
         write_varint(&mut out, delta.versions.len() as u64);
         for version in &delta.versions {
-            scratch.clear();
-            backend.encode_clock(&version.clock, &mut scratch);
-            write_frame(&mut out, &scratch);
-            match &version.value {
+            write_frame(&mut out, version.clock_bytes());
+            match &version.version().value {
                 Some(value) => {
                     out.push(1);
                     write_frame(&mut out, value);
@@ -145,7 +152,9 @@ pub fn encode_delta<B: StoreBackend>(backend: &B, deltas: &[KeyDelta<B>]) -> Vec
     out
 }
 
-/// Decodes a delta message payload with the backend's codec.
+/// Decodes a delta message payload with the backend's codec. The validated
+/// clock frame is retained as each version's canonical bytes, so the
+/// receive path never re-encodes a clock either.
 ///
 /// # Errors
 ///
@@ -166,7 +175,8 @@ pub fn decode_delta<B: StoreBackend>(
         let version_count = read_varint(&mut input)?;
         let mut versions = Vec::with_capacity(version_count.min(1 << 16) as usize);
         for _ in 0..version_count {
-            let clock = backend.decode_clock(read_frame(&mut input)?)?;
+            let clock_frame = read_frame(&mut input)?;
+            let clock = backend.decode_clock(clock_frame)?;
             let (flag, rest) = input.split_first().ok_or(DecodeError::UnexpectedEnd)?;
             input = rest;
             let value = match flag {
@@ -174,7 +184,10 @@ pub fn decode_delta<B: StoreBackend>(
                 1 => Some(read_frame(&mut input)?.to_vec()),
                 _ => return Err(DecodeError::Malformed("unknown version flag")),
             };
-            versions.push(Version { clock, value });
+            versions.push(StoredVersion::with_clock_bytes(
+                Version { clock, value },
+                Arc::from(clock_frame),
+            ));
         }
         deltas.push(KeyDelta { key, element, versions });
     }
@@ -214,8 +227,11 @@ mod tests {
             key: "k".into(),
             element,
             versions: vec![
-                Version { clock: clock.clone(), value: Some(b"hello".to_vec()) },
-                Version { clock, value: None },
+                StoredVersion::new(
+                    &backend,
+                    Version { clock: clock.clone(), value: Some(b"hello".to_vec()) },
+                ),
+                StoredVersion::new(&backend, Version { clock, value: None }),
             ],
         }];
         let bytes = encode_delta(&backend, &deltas);
@@ -233,7 +249,7 @@ mod tests {
         let deltas = vec![KeyDelta::<DynamicVvBackend> {
             key: "vv".into(),
             element,
-            versions: vec![Version { clock, value: Some(vec![1, 2, 3]) }],
+            versions: vec![StoredVersion::new(&dv, Version { clock, value: Some(vec![1, 2, 3]) })],
         }];
         let bytes = encode_delta(&dv, &deltas);
         assert_eq!(decode_delta(&dv, &bytes).unwrap(), deltas);

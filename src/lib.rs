@@ -52,4 +52,7 @@ pub use vstamp_core::{
 pub use vstamp_core::{BitTrieCodec, StampCodec, VarintCodec};
 pub use vstamp_itc::ItcStamp;
 pub use vstamp_panasync::{FileCopy, Reconciliation, Workspace};
-pub use vstamp_store::{Cluster, DynamicVvBackend, StoreBackend, VstampBackend};
+pub use vstamp_store::{
+    Cluster, DynamicVvBackend, GcWatermarks, ProfileSnapshot, StoreBackend, StoredVersion,
+    VstampBackend,
+};
