@@ -214,6 +214,30 @@ fn bench_swar_paths(c: &mut Criterion) {
             |bench, (j, probes)| bench.iter(|| probes.iter().filter(|s| j.contains(s)).count()),
         );
     }
+    // Byte-tail regime: store-clock-sized names (a handful of strings,
+    // tag arrays well under one u64 word) and names straddling the word
+    // boundary. These rows are where the padded-word tail path of `leq`
+    // shows up — the pre-PR 5 word loop never engaged below 32 tags and
+    // fell back to per-byte table steps, so every small-clock relation
+    // check in the store ran the slow path.
+    for strings in [3usize, 10, 40] {
+        let a = wide_name(strings, 12, 0x0123_4567_89AB_CDEF ^ strings as u64);
+        let b = wide_name(strings, 12, 0xFEDC_BA98_7654_3210 ^ strings as u64);
+        let pa = PackedName::from_name(&a);
+        let pb = PackedName::from_name(&b);
+        let joined = pa.join(&pb);
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq-tail-hit", strings),
+            &(pa.clone(), joined),
+            |bench, (a, j)| bench.iter(|| a.leq(j)),
+        );
+        // The reject direction exercises the tail's fail-lane exit.
+        group.bench_with_input(
+            BenchmarkId::new("packed-leq-tail-reject", strings),
+            &(pa, pb),
+            |bench, (a, b)| bench.iter(|| (a.leq(b), b.leq(a))),
+        );
+    }
     group.finish();
 }
 

@@ -1,7 +1,17 @@
-//! Store write-path microbenchmarks: `put`-with-context per backend at
-//! 1 / 4 / 16 siblings, without the full simulation around it — so a
-//! regression in the backend write, sibling merge or GC path is visible
+//! Store read/write-path microbenchmarks per backend at 1 / 4 / 16
+//! siblings, without the full simulation around it — so a regression in
+//! the backend write, sibling merge, GC or read-snapshot path is visible
 //! directly.
+//!
+//! Two groups:
+//!
+//! * `store-write` — one steady-state put-with-context session cycle (see
+//!   below);
+//! * `store-read` — `get` against a key holding k siblings, A/B-ing the
+//!   contention-free snapshot path (`Cluster::get`: one `Arc` clone under
+//!   the read lock) against the reference locked path
+//!   (`Cluster::get_materialized`: value clones plus a context clone under
+//!   the same lock — what every read paid before the snapshot design).
 //!
 //! Each measured iteration is one steady-state **session cycle** on a
 //! single-replica cluster that starts with one settled (re-minted)
@@ -34,14 +44,65 @@ fn session_cycle<B: StoreBackend>(cluster: &mut Cluster<B>, k: usize) {
     // the re-minted ε clock of stamps and the dotted clock of the
     // baseline); the remaining k − 1 are stale and become siblings.
     let base = cluster.get(0, KEY);
-    cluster.put(0, KEY, vec![0], base.context.as_ref());
+    cluster.put(0, KEY, vec![0], base.context());
     for i in 1..k {
         cluster.put(0, KEY, vec![i as u8], None);
     }
     let read = cluster.get(0, KEY);
-    debug_assert_eq!(read.values.len(), k);
-    cluster.put(0, KEY, b"resolved".to_vec(), read.context.as_ref());
+    debug_assert_eq!(read.values().len(), k);
+    cluster.put(0, KEY, b"resolved".to_vec(), read.context());
     cluster.compact();
+}
+
+/// Prepares a single-replica cluster whose key holds exactly `k` siblings.
+fn cluster_with_siblings<B: StoreBackend>(backend: B, k: usize) -> Cluster<B> {
+    let cluster = Cluster::new(backend, 1, 1);
+    cluster.put(0, KEY, vec![0], None);
+    for i in 1..k {
+        cluster.put(0, KEY, vec![i as u8], None);
+    }
+    debug_assert_eq!(cluster.get(0, KEY).values().len(), k);
+    cluster
+}
+
+fn bench_read_backend<B: StoreBackend>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    backend: B,
+    siblings: usize,
+) {
+    let cluster = cluster_with_siblings(backend, siblings);
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/snapshot"), siblings),
+        &siblings,
+        |bench, _| {
+            bench.iter(|| {
+                let read = cluster.get(0, KEY);
+                black_box(read.live_len());
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/locked"), siblings),
+        &siblings,
+        |bench, _| {
+            bench.iter(|| {
+                let (values, context) = cluster.get_materialized(0, KEY);
+                black_box((values.len(), context.is_some()));
+            });
+        },
+    );
+}
+
+fn bench_get(c: &mut Criterion) {
+    let smoke = std::env::var("VSTAMP_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut group = c.benchmark_group("store-read");
+    group.sample_size(if smoke { 5 } else { 15 });
+    for siblings in [1usize, 4, 16] {
+        bench_read_backend(&mut group, "version-stamps-gc", VstampBackend::gc(), siblings);
+        bench_read_backend(&mut group, "dynamic-vv", DynamicVvBackend::new(), siblings);
+    }
+    group.finish();
 }
 
 fn bench_backend<B: StoreBackend>(
@@ -54,7 +115,7 @@ fn bench_backend<B: StoreBackend>(
     // Reach the steady-state starting shape: one settled version.
     cluster.put(0, KEY, b"seed".to_vec(), None);
     let read = cluster.get(0, KEY);
-    cluster.put(0, KEY, b"base".to_vec(), read.context.as_ref());
+    cluster.put(0, KEY, b"base".to_vec(), read.context());
     cluster.compact();
     group.bench_with_input(BenchmarkId::new(label, siblings), &siblings, |bench, &k| {
         bench.iter(|| {
@@ -83,4 +144,5 @@ fn bench_put_with_context(c: &mut Criterion) {
 }
 
 criterion_group!(store_write, bench_put_with_context);
-criterion_main!(store_write);
+criterion_group!(store_read, bench_get);
+criterion_main!(store_write, store_read);

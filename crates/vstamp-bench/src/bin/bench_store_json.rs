@@ -3,9 +3,11 @@
 //! every backend — version stamps with frontier GC, plain eager version
 //! stamps, and the dynamic version-vector baseline — recording
 //!
-//! * client-op throughput (sessions plus anti-entropy, wall clock), plus a
-//!   `throughput` trajectory section comparing against the PR 3 baseline
-//!   numbers so ops/sec per backend is tracked across PRs,
+//! * client-op throughput (sessions plus anti-entropy, wall clock; each
+//!   cell is the **best of N timing passes** so host noise does not write
+//!   the history), plus a `throughput` trajectory section comparing against
+//!   the PR 3/PR 4 baseline numbers so ops/sec per backend is tracked
+//!   across PRs,
 //! * the per-key metadata curve (mean bits per `(replica, key)` of element
 //!   plus sibling clocks, sampled every epoch),
 //! * the causal-oracle verdict (lost updates, false concurrency,
@@ -15,6 +17,14 @@
 //! and writes `BENCH_STORE.json`. Run with
 //! `cargo run --release -p vstamp-bench --bin bench_store_json`. Flags:
 //!
+//! * `--threads N` — additionally run the **thread-scaling grids**: the
+//!   same workload driven by M concurrent client threads (sessions and
+//!   gossip pulls split across OS threads over the one shared cluster) at
+//!   1/2/4/… up to `N` threads per backend, recorded in a `scaling` JSON
+//!   section together with the host's available parallelism. Every
+//!   concurrent run goes through the same causal oracle, and the process
+//!   exits non-zero unless **all** runs — concurrent ones included — are
+//!   causally exact.
 //! * `--profile` — after the timing pass, re-run every cell with the
 //!   cluster's section profiling enabled (GC vs join vs relation vs codec
 //!   vs locking) and record the per-backend breakdown in a `profile`
@@ -22,8 +32,8 @@
 //!   Profiling is a separate pass so probes never skew the headline
 //!   throughput numbers.
 //! * `--smoke` (or `VSTAMP_BENCH_SMOKE=1`) — shrink to a seconds-scale
-//!   smoke grid (CI runs that on every push; the process exits non-zero
-//!   whenever a run is not causally exact).
+//!   smoke grid (CI runs that on every push, with `--threads 2` so the
+//!   concurrent oracle gate runs on every push too).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,19 +45,32 @@ use vstamp_store::{DynamicVvBackend, VstampBackend};
 /// The PR this binary's rows are labelled with in the `throughput`
 /// trajectory section; bump when a later PR regenerates the artifact so
 /// earlier rows are preserved as history instead of overwritten.
-const CURRENT_PR: u32 = 4;
+const CURRENT_PR: u32 = 5;
 
-/// Throughput recorded by the PR 3 run of this benchmark (default grid,
-/// seed 20020310) — the "before" of the trajectory section. PR 3 ran the
-/// frontier collapse at every merge and re-derived sibling order, context
-/// joins and fingerprints per operation.
-const PR3_BASELINE: &[(&str, &str, f64)] = &[
-    ("partition-heal", "version-stamps-gc", 4009.8),
-    ("partition-heal", "version-stamps", 10138.2),
-    ("partition-heal", "dynamic-vv", 25100.9),
-    ("churn", "version-stamps-gc", 1219.4),
-    ("churn", "version-stamps", 2192.1),
-    ("churn", "dynamic-vv", 18215.8),
+/// Timing passes per cell; the best (shortest) pass is reported, and the
+/// backends are interleaved across passes so host-speed drift hits every
+/// backend alike instead of biasing the ratios. Every pass must still be
+/// causally exact.
+const TIMING_PASSES: usize = 5;
+
+/// Throughput recorded by earlier PRs of this benchmark (default grid,
+/// seed 20020310) — the "before" rows of the trajectory section. PR 3 ran
+/// the frontier collapse at every merge and re-derived sibling order,
+/// context joins and fingerprints per operation; PR 4 amortized the GC and
+/// cached the sibling order.
+const PR_BASELINES: &[(u32, &str, &str, f64)] = &[
+    (3, "partition-heal", "version-stamps-gc", 4009.8),
+    (3, "partition-heal", "version-stamps", 10138.2),
+    (3, "partition-heal", "dynamic-vv", 25100.9),
+    (3, "churn", "version-stamps-gc", 1219.4),
+    (3, "churn", "version-stamps", 2192.1),
+    (3, "churn", "dynamic-vv", 18215.8),
+    (4, "partition-heal", "version-stamps-gc", 22458.9),
+    (4, "partition-heal", "version-stamps", 26393.1),
+    (4, "partition-heal", "dynamic-vv", 37520.3),
+    (4, "churn", "version-stamps-gc", 21685.5),
+    (4, "churn", "version-stamps", 21189.2),
+    (4, "churn", "dynamic-vv", 29166.2),
 ];
 
 struct Row {
@@ -66,12 +89,70 @@ impl Row {
     }
 }
 
-fn run_all(scenario: &'static str, spec: &StoreSimSpec, rows: &mut Vec<Row>) {
+/// One scaling cell: a scenario × backend × thread-count run.
+struct ScalingRow {
+    scenario: &'static str,
+    backend: &'static str,
+    threads: usize,
+    ops_per_sec: f64,
+    exact: bool,
+}
+
+/// One timing pass of a cell: (report, elapsed seconds).
+fn timed_pass<B: vstamp_store::StoreBackend + Clone>(
+    backend: &B,
+    spec: &StoreSimSpec,
+) -> (StoreSimReport, f64) {
+    let start = Instant::now();
+    let report = run_store_sim(backend.clone(), spec);
+    (report, start.elapsed().as_secs_f64())
+}
+
+/// Folds a pass into the best-so-far slot: shortest exact pass wins, and
+/// an inexact pass always survives to the report so the gate fails loudly.
+fn keep_best(best: &mut Option<(StoreSimReport, f64)>, pass: (StoreSimReport, f64)) {
+    let replace = match &best {
+        None => true,
+        Some((kept, _)) if !kept.is_exact() => false,
+        Some(_) if !pass.0.is_exact() => true,
+        Some((_, kept_elapsed)) => pass.1 < *kept_elapsed,
+    };
+    if replace {
+        *best = Some(pass);
+    }
+}
+
+/// Runs one cell `passes` times and returns the best pass.
+fn timed_best<B: vstamp_store::StoreBackend + Clone>(
+    backend: &B,
+    spec: &StoreSimSpec,
+    passes: usize,
+) -> (StoreSimReport, f64) {
+    let mut best: Option<(StoreSimReport, f64)> = None;
+    for _ in 0..passes.max(1) {
+        keep_best(&mut best, timed_pass(backend, spec));
+        if best.as_ref().is_some_and(|(report, _)| !report.is_exact()) {
+            break;
+        }
+    }
+    best.expect("at least one pass runs")
+}
+
+fn run_all(scenario: &'static str, spec: &StoreSimSpec, passes: usize, rows: &mut Vec<Row>) {
     println!(
-        "\n{scenario}: {} replicas, {} rounds x {} sessions, {} keys",
+        "\n{scenario}: {} replicas, {} rounds x {} sessions, {} keys (best of {passes})",
         spec.replicas, spec.rounds, spec.ops_per_round, spec.keys
     );
-    let mut push = |report: StoreSimReport, elapsed_secs: f64| {
+    // Pass-major order: gc/eager/vv run back to back within each pass, so
+    // host-speed drift over the sweep biases every backend equally.
+    let mut best: [Option<(StoreSimReport, f64)>; 3] = [None, None, None];
+    for _ in 0..passes.max(1) {
+        keep_best(&mut best[0], timed_pass(&VstampBackend::gc(), spec));
+        keep_best(&mut best[1], timed_pass(&VstampBackend::eager(), spec));
+        keep_best(&mut best[2], timed_pass(&DynamicVvBackend::new(), spec));
+    }
+    for slot in best {
+        let (report, elapsed_secs) = slot.expect("every backend ran");
         println!(
             "  {:<18} {:>9.0} ops/s  mean_key_bits={:>8.1}  lost={} false_conc={} resurrect={} converged={}",
             report.backend,
@@ -83,16 +164,43 @@ fn run_all(scenario: &'static str, spec: &StoreSimSpec, rows: &mut Vec<Row>) {
             report.converged,
         );
         rows.push(Row { scenario, report, elapsed_secs });
-    };
-    let start = Instant::now();
-    let report = run_store_sim(VstampBackend::gc(), spec);
-    push(report, start.elapsed().as_secs_f64());
-    let start = Instant::now();
-    let report = run_store_sim(VstampBackend::eager(), spec);
-    push(report, start.elapsed().as_secs_f64());
-    let start = Instant::now();
-    let report = run_store_sim(DynamicVvBackend::new(), spec);
-    push(report, start.elapsed().as_secs_f64());
+    }
+}
+
+/// The thread-scaling grid for one scenario: every backend at every thread
+/// count, same total workload per cell so ops/s are directly comparable.
+fn run_scaling(
+    scenario: &'static str,
+    base: &StoreSimSpec,
+    thread_counts: &[usize],
+    passes: usize,
+    rows: &mut Vec<ScalingRow>,
+) {
+    println!(
+        "\n{scenario} scaling: {} replicas, {} rounds x {} sessions, {} keys",
+        base.replicas, base.rounds, base.ops_per_round, base.keys
+    );
+    for &threads in thread_counts {
+        let spec = base.with_threads(threads);
+        let mut push = |(report, elapsed): (StoreSimReport, f64)| {
+            let ops = if elapsed == 0.0 { 0.0 } else { report.sessions as f64 / elapsed };
+            println!(
+                "  {:<18} threads={threads}  {ops:>9.0} ops/s  exact={}",
+                report.backend,
+                report.is_exact()
+            );
+            rows.push(ScalingRow {
+                scenario,
+                backend: report.backend,
+                threads,
+                ops_per_sec: ops,
+                exact: report.is_exact(),
+            });
+        };
+        push(timed_best(&VstampBackend::gc(), &spec, passes));
+        push(timed_best(&VstampBackend::eager(), &spec, passes));
+        push(timed_best(&DynamicVvBackend::new(), &spec, passes));
+    }
 }
 
 /// One profiled pass per backend per scenario: the wall-clock section
@@ -148,11 +256,11 @@ fn row_json(row: &Row) -> String {
 }
 
 fn throughput_json(rows: &[Row]) -> String {
-    let mut lines: Vec<String> = PR3_BASELINE
+    let mut lines: Vec<String> = PR_BASELINES
         .iter()
-        .map(|(scenario, backend, ops)| {
+        .map(|(pr, scenario, backend, ops)| {
             format!(
-                "    {{\"pr\": 3, \"scenario\": \"{scenario}\", \"backend\": \"{backend}\", \"ops_per_sec\": {ops:.1}}}"
+                "    {{\"pr\": {pr}, \"scenario\": \"{scenario}\", \"backend\": \"{backend}\", \"ops_per_sec\": {ops:.1}}}"
             )
         })
         .collect();
@@ -167,14 +275,56 @@ fn throughput_json(rows: &[Row]) -> String {
     lines.join(",\n")
 }
 
+fn scaling_json(rows: &[ScalingRow]) -> String {
+    let single = |scenario: &str, backend: &str| {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.backend == backend && r.threads == 1)
+            .map_or(0.0, |r| r.ops_per_sec)
+    };
+    rows.iter()
+        .map(|row| {
+            let base = single(row.scenario, row.backend);
+            let speedup = if base == 0.0 { 0.0 } else { row.ops_per_sec / base };
+            format!(
+                "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.2}, \"exact\": {}}}",
+                row.scenario, row.backend, row.threads, row.ops_per_sec, speedup, row.exact
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// `--threads N` → the thread counts to sweep: powers of two up to `N`,
+/// plus `N` itself.
+fn thread_counts(max: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut n = 1usize;
+    while n <= max {
+        counts.push(n);
+        n *= 2;
+    }
+    if counts.last() != Some(&max) {
+        counts.push(max);
+    }
+    counts
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let profile = args.iter().any(|a| a == "--profile");
+    let threads_max: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let seed = seed_from_args();
     let smoke = smoke_mode() || args.iter().any(|a| a == "--smoke");
-    println!("seed = {seed}{}", if smoke { " (smoke grid)" } else { "" });
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    println!("seed = {seed}{}, host cpus = {host_cpus}", if smoke { " (smoke grid)" } else { "" });
 
     header("vstamp-store — backend comparison (causal KV, anti-entropy)");
+    let passes = if smoke { 1 } else { TIMING_PASSES };
     let mut rows = Vec::new();
 
     let partition = if smoke {
@@ -182,14 +332,34 @@ fn main() {
     } else {
         StoreSimSpec::partition_heal(8, 16, seed)
     };
-    run_all("partition-heal", &partition, &mut rows);
+    run_all("partition-heal", &partition, passes, &mut rows);
 
     let churn =
         if smoke { StoreSimSpec::churn(3, 8, seed) } else { StoreSimSpec::churn(6, 24, seed) };
-    run_all("churn", &churn, &mut rows);
+    run_all("churn", &churn, passes, &mut rows);
 
-    let exact = rows.iter().all(|row| row.report.is_exact());
-    println!("\nall runs causally exact and converged: {exact}");
+    let mut scaling_rows = Vec::new();
+    if threads_max > 0 {
+        header("thread scaling — concurrent sessions over the shared cluster");
+        let counts = thread_counts(threads_max);
+        let scaling_passes = if smoke { 1 } else { 2 };
+        let heal_spec = if smoke {
+            StoreSimSpec::partition_heal_scaling(seed).smoke_scaling()
+        } else {
+            StoreSimSpec::partition_heal_scaling(seed)
+        };
+        run_scaling("partition-heal", &heal_spec, &counts, scaling_passes, &mut scaling_rows);
+        let churn_spec = if smoke {
+            StoreSimSpec::churn_scaling(seed).smoke_scaling()
+        } else {
+            StoreSimSpec::churn_scaling(seed)
+        };
+        run_scaling("churn", &churn_spec, &counts, scaling_passes, &mut scaling_rows);
+    }
+
+    let exact =
+        rows.iter().all(|row| row.report.is_exact()) && scaling_rows.iter().all(|row| row.exact);
+    println!("\nall runs causally exact and converged (concurrent included): {exact}");
 
     // Headline: per-key metadata of stamps (GC) vs the dynamic-VV baseline.
     let gc_bits: f64 = rows
@@ -210,8 +380,7 @@ fn main() {
             vv_bits / gc_bits.max(1.0)
         );
     }
-    // Headline: the throughput gap the amortized GC + cached-order sibling
-    // sets close.
+    // Headline: the single-thread throughput residual.
     for scenario in ["partition-heal", "churn"] {
         let ops = |backend: &str| {
             rows.iter()
@@ -242,13 +411,20 @@ fn main() {
     let mut json = String::from("{\n  \"benchmark\": \"vstamp-store\",\n");
     writeln!(json, "  \"seed\": {seed},").expect("writing to a String cannot fail");
     writeln!(json, "  \"smoke\": {smoke},").expect("writing to a String cannot fail");
+    writeln!(json, "  \"host_cpus\": {host_cpus},").expect("writing to a String cannot fail");
+    writeln!(json, "  \"timing_passes\": {passes},").expect("writing to a String cannot fail");
     writeln!(json, "  \"all_exact\": {exact},").expect("writing to a String cannot fail");
     // The trajectory section only makes sense against the full default
-    // grid — a smoke run would pair full-grid PR 3 baselines with tiny-grid
+    // grid — a smoke run would pair full-grid baselines with tiny-grid
     // numbers and read as a fake regression.
     if !smoke {
         json.push_str("  \"throughput\": [\n");
         json.push_str(&throughput_json(&rows));
+        json.push_str("\n  ],\n");
+    }
+    if !scaling_rows.is_empty() && !smoke {
+        json.push_str("  \"scaling\": [\n");
+        json.push_str(&scaling_json(&scaling_rows));
         json.push_str("\n  ],\n");
     }
     if !profile_rows.is_empty() {

@@ -125,24 +125,20 @@ impl FrontierEvidence {
     /// Builds the evidence from per-element footprints kept in the packed
     /// representation.
     ///
-    /// The packed joins are the allocation-light SWAR merges of
-    /// [`PackedName`](crate::PackedName); the single conversion to the set representation
-    /// happens once per *evidence build* instead of once per footprint.
-    /// This is the path `vstamp-store` uses: its per-key pin table stores
-    /// packed footprints (one packed join per element transition), and the
-    /// amortized GC joins them only when a collapse is actually due.
+    /// The join is the one-pass k-way merge of
+    /// [`PackedName::join_many`](crate::PackedName::join_many) — a single
+    /// output build over all pins instead of a pairwise fold — and the
+    /// single conversion to the set representation happens once per
+    /// *evidence build* instead of once per footprint. This is the path
+    /// `vstamp-store` uses: its per-key pin table stores packed footprints
+    /// (one packed join per element transition), and the amortized GC joins
+    /// them only when a collapse is actually due.
     pub fn from_packed_footprints<'a, I>(others: I) -> Self
     where
         I: IntoIterator<Item = &'a crate::PackedName>,
     {
-        let mut joined: Option<crate::PackedName> = None;
-        for other in others {
-            joined = Some(match joined {
-                Some(footprint) => footprint.join(other),
-                None => other.clone(),
-            });
-        }
-        FrontierEvidence { footprint: joined.map_or_else(Name::empty, |p| p.to_name()) }
+        let joined = crate::PackedName::join_many(others);
+        FrontierEvidence { footprint: joined.to_name() }
     }
 
     /// Returns `true` when the rest of the frontier blocks a collapse at

@@ -55,11 +55,59 @@ const ELEM: u8 = 0b01;
 /// Node tag: interior node; its two children follow in preorder.
 const NODE: u8 = 0b10;
 
+/// Upper bound on pooled heap buffers kept per thread, and on the size of
+/// a buffer worth keeping (hoarding a few giant joins would pin memory for
+/// the rest of the thread's life).
+const POOL_LIMIT: usize = 32;
+const POOL_BYTE_CAP: usize = 1 << 16;
+
+thread_local! {
+    /// Arena pool of spilled tag buffers: every heap-backed [`TagVec`]
+    /// returns its allocation here on drop and every spilling constructor
+    /// draws from it, so after warm-up the `join`/`append`/`join_many`
+    /// element hot path allocates nothing even for names past
+    /// [`INLINE_TAGS`].
+    static TAG_BUF_POOL: core::cell::RefCell<Vec<Vec<u8>>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
+/// A recycled (or fresh) byte buffer with at least `bytes` of capacity.
+fn pooled_buf(bytes: usize) -> Vec<u8> {
+    TAG_BUF_POOL.try_with(|pool| pool.borrow_mut().pop()).ok().flatten().map_or_else(
+        || Vec::with_capacity(bytes),
+        |mut buf| {
+            buf.clear();
+            if buf.capacity() < bytes {
+                buf.reserve(bytes - buf.len());
+            }
+            buf
+        },
+    )
+}
+
+/// Returns a heap buffer to the thread pool (bounded; `try_with` so drops
+/// during thread teardown degrade to a plain deallocation).
+fn recycle_buf(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > POOL_BYTE_CAP {
+        return;
+    }
+    let _ = TAG_BUF_POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_LIMIT {
+            buf.clear();
+            pool.push(buf);
+        }
+    });
+}
+
 /// Growable 2-bit tag array with a 16-byte (64-tag) inline buffer.
 ///
 /// Invariant: tags are only ever appended, so the unused bits of the last
 /// byte are always zero and equality/hashing can compare raw bytes.
-#[derive(Clone)]
+///
+/// Heap-spilled buffers are arena-pooled per thread ([`TAG_BUF_POOL`]):
+/// `Drop` recycles them and every spilling path (`with_tag_capacity`, the
+/// mid-push spill, `Clone`) draws from the pool first.
 struct TagVec {
     len: u32,
     inline: [u8; INLINE_BYTES],
@@ -74,7 +122,7 @@ impl TagVec {
     fn with_tag_capacity(tags: usize) -> Self {
         let mut v = TagVec::new();
         if tags > INLINE_TAGS {
-            v.heap = Vec::with_capacity(tags.div_ceil(TAGS_PER_BYTE));
+            v.heap = pooled_buf(tags.div_ceil(TAGS_PER_BYTE));
         }
         v
     }
@@ -124,7 +172,7 @@ impl TagVec {
                 return;
             }
             // Spill: move the inline bytes to the heap and keep appending.
-            self.heap.extend_from_slice(&self.inline);
+            self.spill();
         }
         if byte == self.heap.len() {
             self.heap.push(0);
@@ -174,10 +222,40 @@ impl TagVec {
                 self.len += TAGS_PER_BYTE as u32;
                 return;
             }
-            self.heap.extend_from_slice(&self.inline);
+            self.spill();
         }
         self.heap.push(byte);
         self.len += TAGS_PER_BYTE as u32;
+    }
+
+    /// Moves the inline bytes onto the heap buffer, drawing a pooled
+    /// allocation when none was reserved up front.
+    fn spill(&mut self) {
+        if self.heap.capacity() == 0 {
+            self.heap = pooled_buf(2 * INLINE_BYTES);
+        }
+        self.heap.extend_from_slice(&self.inline);
+    }
+}
+
+impl Clone for TagVec {
+    fn clone(&self) -> Self {
+        let heap = if self.heap.is_empty() {
+            Vec::new()
+        } else {
+            let mut buf = pooled_buf(self.heap.len());
+            buf.extend_from_slice(&self.heap);
+            buf
+        };
+        TagVec { len: self.len, inline: self.inline, heap }
+    }
+}
+
+impl Drop for TagVec {
+    fn drop(&mut self) {
+        if self.heap.capacity() > 0 {
+            recycle_buf(core::mem::take(&mut self.heap));
+        }
     }
 }
 
@@ -211,57 +289,6 @@ const fn traversal_tables() -> ([i8; 256], [i8; 256]) {
 
 static TRAVERSAL: ([i8; 256], [i8; 256]) = traversal_tables();
 
-/// Per-byte tag-class masks: bit `s` of `NODE4[b]` (resp. `EMPTY4`,
-/// `ELEM4`) is set when slot `s` of byte `b` holds that tag. Drives the
-/// four-pairs-at-a-time fast path of [`PackedName::leq`].
-const fn class_masks() -> ([u8; 256], [u8; 256], [u8; 256]) {
-    let mut node = [0u8; 256];
-    let mut empty = [0u8; 256];
-    let mut elem = [0u8; 256];
-    let mut byte = 0usize;
-    while byte < 256 {
-        let mut slot = 0usize;
-        while slot < 4 {
-            match ((byte >> (slot * 2)) & 0b11) as u8 {
-                EMPTY => empty[byte] |= 1 << slot,
-                ELEM => elem[byte] |= 1 << slot,
-                _ => node[byte] |= 1 << slot,
-            }
-            slot += 1;
-        }
-        byte += 1;
-    }
-    (node, empty, elem)
-}
-
-static CLASS: ([u8; 256], [u8; 256], [u8; 256]) = class_masks();
-
-/// For a nibble of per-slot `Node` bits, the net open-subtree delta and the
-/// minimum intermediate value across the four lockstep pairs.
-const fn nibble_tables() -> ([i8; 16], [i8; 16]) {
-    let mut delta = [0i8; 16];
-    let mut min_prefix = [0i8; 16];
-    let mut nibble = 0usize;
-    while nibble < 16 {
-        let mut sum = 0i8;
-        let mut min = 0i8;
-        let mut slot = 0usize;
-        while slot < 4 {
-            sum += if nibble & (1 << slot) != 0 { 1 } else { -1 };
-            if sum < min {
-                min = sum;
-            }
-            slot += 1;
-        }
-        delta[nibble] = sum;
-        min_prefix[nibble] = min;
-        nibble += 1;
-    }
-    (delta, min_prefix)
-}
-
-static NIBBLE: ([i8; 16], [i8; 16]) = nibble_tables();
-
 /// Mask selecting the low bit of every 2-bit tag lane in a `u64` word
 /// (eight bytes = 32 tags). The SWAR fast paths classify all 32 lanes at
 /// once: a lane holds `Node` (`0b10`) iff its high bit is set and its low
@@ -273,6 +300,33 @@ const LANE_LO: u64 = 0x5555_5555_5555_5555;
 #[inline]
 fn tag_word(bytes: &[u8], byte_index: usize) -> u64 {
     u64::from_le_bytes(bytes[byte_index..byte_index + 8].try_into().expect("eight bytes"))
+}
+
+/// Reads up to eight bytes of a tag array as one little-endian word,
+/// zero-padding past the end — padding lanes decode as `Empty`, which the
+/// block loops treat as inert. This is what lets the SWAR paths run all
+/// the way into the byte tail instead of dropping to scalar for the last
+/// (up to 31) tags.
+#[inline]
+fn tag_word_padded(bytes: &[u8], byte_index: usize) -> u64 {
+    if byte_index + 8 <= bytes.len() {
+        return tag_word(bytes, byte_index);
+    }
+    let mut buf = [0u8; 8];
+    let available = bytes.len().saturating_sub(byte_index);
+    buf[..available].copy_from_slice(&bytes[byte_index..]);
+    u64::from_le_bytes(buf)
+}
+
+/// [`LANE_LO`] restricted to the first `lanes` tag lanes (1..=32).
+#[inline]
+fn lane_mask(lanes: usize) -> u64 {
+    debug_assert!((1..=32).contains(&lanes));
+    if lanes == 32 {
+        LANE_LO
+    } else {
+        LANE_LO & ((1u64 << (2 * lanes)) - 1)
+    }
 }
 
 /// Borrowed view of a tag array: the inline/heap branch is resolved once
@@ -475,6 +529,20 @@ impl PackedName {
         self.tags.len() + non_empty as usize
     }
 
+    /// A cheap 64-bit structural hash — FNV-1a over the packed tag bytes —
+    /// for hash-prefiltered lookup tables (e.g. the store's GC pin table)
+    /// that want equality candidates without a general-purpose hasher.
+    /// Equal names always hash equal (equality is byte equality).
+    #[must_use]
+    pub fn quick_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(self.tags.len);
+        for &byte in self.tags.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Raw tag accessor for the encoder; `0 = Empty`, `1 = Elem`, `2 = Node`.
     pub(crate) fn tag(&self, index: usize) -> u8 {
         self.tags.get(index)
@@ -495,7 +563,8 @@ impl PackedName {
         if bytes.len() <= INLINE_BYTES {
             tags.inline[..bytes.len()].copy_from_slice(bytes);
         } else {
-            tags.heap = bytes.to_vec();
+            tags.heap = pooled_buf(bytes.len());
+            tags.heap.extend_from_slice(bytes);
         }
         tags.len = tag_count as u32;
         PackedName::from_tags(tags)
@@ -588,26 +657,30 @@ impl PackedName {
         {
             return true;
         }
+        // The walk below consumes `a` strictly left to right, one tag per
+        // lockstep transition, and the number of open comparison subtrees
+        // equals the open-subtree count of `a`'s preorder prefix at `ia`.
+        // For a canonical array (one complete root subtree) that count is
+        // positive strictly before the end and zero exactly at it, so the
+        // walk terminates **only at the end of `a`** — which is what lets
+        // the wide-word loop consume full words without a closing-bound
+        // check, and the padded byte-tail resolve in a single masked-word
+        // evaluation instead of per-byte table steps.
         let (mut ia, mut ib) = (0usize, 0usize);
-        let mut pending = 1i32;
-        while pending > 0 {
-            // Fast path: while both cursors are byte-aligned and the next
-            // four tag pairs are all plain lockstep transitions (no failure,
-            // no subtree skip, no chance of closing the walk mid-byte),
-            // consume a whole byte of each side per step.
+        while ia < a.len {
+            // Wide-word block loop: while both cursors are byte-aligned,
+            // classify up to 32 lockstep tag pairs per step. `fail` has a
+            // bit per lane where a non-empty `a` sits over an empty `b` or
+            // an interior `a` over an element `b`; `bail` where a leaf `a`
+            // sits over an interior `b` (subtree skip needed, the cursors
+            // desynchronize). Tail words are zero-padded; the mask keeps
+            // only genuine lockstep lanes.
             if ia & 3 == 0 && ib & 3 == 0 {
-                // u64 SWAR on top: 32 tag pairs per step while every lane
-                // pair is a plain lockstep transition. `fail` has a bit per
-                // lane where a non-empty `a` sits over an empty `b` or an
-                // interior `a` over an element `b`; `bail` where a leaf `a`
-                // sits over an interior `b` (subtree skip needed). Padding
-                // lanes read as `Empty`/`Empty` leaf pairs, which only
-                // tighten the closing bound (`pending ≤ leaves`), so the
-                // word is consumed only when the walk provably continues
-                // past it.
-                while (ia >> 2) + 8 <= a.bytes.len() && (ib >> 2) + 8 <= b.bytes.len() {
-                    let va = tag_word(a.bytes, ia >> 2);
-                    let vb = tag_word(b.bytes, ib >> 2);
+                loop {
+                    let rem = (a.len - ia).min(b.len - ib).min(32);
+                    let va = tag_word_padded(a.bytes, ia >> 2);
+                    let vb = tag_word_padded(b.bytes, ib >> 2);
+                    let live = lane_mask(rem);
                     let (a_hi, a_lo) = ((va >> 1) & LANE_LO, va & LANE_LO);
                     let (b_hi, b_lo) = ((vb >> 1) & LANE_LO, vb & LANE_LO);
                     let a_node = a_hi & !a_lo;
@@ -615,35 +688,37 @@ impl PackedName {
                     let b_node = b_hi & !b_lo;
                     let b_elem = b_lo & !b_hi;
                     let b_empty = !(b_hi | b_lo) & LANE_LO;
-                    let fail = (!a_empty & LANE_LO & b_empty) | (a_node & b_elem);
-                    let bail = !a_node & LANE_LO & b_node;
-                    let nodes = a_node.count_ones() as i32;
-                    if fail != 0 || bail != 0 || pending <= 32 - nodes {
-                        break;
+                    let fail = ((!a_empty & LANE_LO & b_empty) | (a_node & b_elem)) & live;
+                    let bail = (!a_node & LANE_LO & b_node) & live;
+                    if fail == 0 && bail == 0 {
+                        if rem == 32 && a.len - ia > 32 {
+                            // A full word of plain lockstep transitions, and
+                            // the walk cannot terminate inside it (the end
+                            // of `a` lies beyond): consume it whole.
+                            ia += 32;
+                            ib += 32;
+                            continue;
+                        }
+                        // The byte tail: no fail or bail lane left, so the
+                        // walk runs lockstep to the end of `a` — the only
+                        // place it can terminate — and succeeds. Pure
+                        // lockstep mirrors the node/leaf pattern, so both
+                        // sides end together.
+                        debug_assert_eq!(a.len - ia, b.len - ib);
+                        return true;
                     }
-                    pending += 2 * nodes - 32;
-                    ia += 32;
-                    ib += 32;
-                }
-                let (node4, empty4, elem4) = (&CLASS.0, &CLASS.1, &CLASS.2);
-                loop {
-                    let ab = a.bytes[ia >> 2] as usize;
-                    let bb = b.bytes[ib >> 2] as usize;
-                    let an = node4[ab];
-                    // Some pair fails (`a` non-empty over `b` empty, or
-                    // interior over element)?
-                    let fail = (!empty4[ab] & empty4[bb]) | (an & elem4[bb]);
-                    // Some pair needs a subtree skip (`a` leaf over `b`
-                    // interior)?
-                    let bail = !an & node4[bb];
-                    if (fail | bail) & 0xF != 0 || pending + i32::from(NIBBLE.1[an as usize]) <= 0 {
-                        break;
+                    // A fail lane strictly before any bail lane is reached
+                    // by the walk (every earlier lane is plain lockstep and
+                    // the walk cannot terminate before the end of `a`).
+                    if fail != 0 && (bail == 0 || fail.trailing_zeros() < bail.trailing_zeros()) {
+                        return false;
                     }
-                    // All four pairs are (Node, Node) or (leaf, leaf): both
-                    // sides advance one tag per pair.
-                    pending += i32::from(NIBBLE.0[an as usize]);
-                    ia += 4;
-                    ib += 4;
+                    // A bail lane first: bulk-consume the clean lockstep
+                    // prefix, then let the scalar match run the skip.
+                    let clean = bail.trailing_zeros() as usize / 2;
+                    ia += clean;
+                    ib += clean;
+                    break;
                 }
             }
             match (a.tag(ia), b.tag(ib)) {
@@ -651,7 +726,6 @@ impl PackedName {
                 (EMPTY, _) => {
                     ia += 1;
                     ib = b.subtree_end(ib);
-                    pending -= 1;
                 }
                 // A non-empty subtree is never below an empty one.
                 (_, EMPTY) => return false,
@@ -659,7 +733,6 @@ impl PackedName {
                 (ELEM, _) => {
                     ia += 1;
                     ib = b.subtree_end(ib);
-                    pending -= 1;
                 }
                 // A canonical interior node is non-empty, hence ⋢ {path}.
                 (NODE, ELEM) => return false,
@@ -667,7 +740,6 @@ impl PackedName {
                 (NODE, NODE) => {
                     ia += 1;
                     ib += 1;
-                    pending += 1;
                 }
                 _ => unreachable!("tags are two-bit values 0..=2"),
             }
@@ -750,6 +822,118 @@ impl PackedName {
                 }
                 _ => unreachable!("tags are two-bit values 0..=2"),
             }
+        }
+        PackedName::from_tags(out)
+    }
+
+    /// The k-way semilattice join `⊔` over any number of names, built as
+    /// **one** output instead of a pairwise fold: a join of `j` names costs
+    /// a single multi-cursor merge of the tag arrays (plus one recount of
+    /// the result), where the fold pays `j − 1` intermediate allocations
+    /// and re-merges early inputs once per later step.
+    ///
+    /// This is the workhorse of sibling-set context rebuilds, GC evidence
+    /// joins and delta absorption in `vstamp-store`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Name, PackedName};
+    /// let names: Vec<PackedName> =
+    ///     ["{00}", "{01, 1}", "{000}"].iter().map(|s| s.parse().unwrap()).collect();
+    /// let expected: PackedName = "{000, 01, 1}".parse().unwrap();
+    /// assert_eq!(PackedName::join_many(&names), expected);
+    /// ```
+    #[must_use]
+    pub fn join_many<'a, I>(names: I) -> PackedName
+    where
+        I: IntoIterator<Item = &'a PackedName>,
+    {
+        // Empty names are identities of ⊔ and drop out up front.
+        let inputs: Vec<&PackedName> = names.into_iter().filter(|name| !name.is_empty()).collect();
+        match inputs.len() {
+            0 => return PackedName::empty(),
+            1 => return inputs[0].clone(),
+            2 => return inputs[0].join(inputs[1]),
+            _ => {}
+        }
+        JOIN_MANY_SCRATCH.with(|cell| Self::join_many_with(&inputs, &mut cell.borrow_mut()))
+    }
+
+    /// [`PackedName::join_many`] against caller-owned scratch (the
+    /// thread-local pool is a wrapper around this). `inputs` are non-empty
+    /// and at least three.
+    fn join_many_with(inputs: &[&PackedName], scratch: &mut JoinManyScratch) -> PackedName {
+        let views: Vec<TagsView<'_>> = inputs.iter().map(|name| name.tags.view()).collect();
+        let JoinManyScratch { ends, open, cursors, frames } = scratch;
+        // Every input's subtree-end table, one forward pass each, so a
+        // cursor's one-child position is an O(1) lookup during the merge.
+        if ends.len() < views.len() {
+            ends.resize_with(views.len(), Vec::new);
+        }
+        for (view, table) in views.iter().zip(ends.iter_mut()) {
+            view.subtree_ends_into(table, open);
+        }
+        let mut out =
+            TagVec::with_tag_capacity(inputs.iter().map(|name| name.tags.len()).max().unwrap_or(1));
+        cursors.clear();
+        frames.clear();
+        for index in 0..views.len() {
+            cursors.push((index as u32, 0u32));
+        }
+        frames.push((0u32, views.len() as u32));
+        // Preorder merge: each frame is the set of input subtrees rooted at
+        // one output position (a range of the cursor arena; the arena is
+        // append-only within a call, so ranges stay valid).
+        while let Some((start, len)) = frames.pop() {
+            let (start, len) = (start as usize, len as usize);
+            let mut nodes = 0usize;
+            let mut last_node = (0u32, 0u32);
+            let mut elems = 0usize;
+            for &(name, pos) in &cursors[start..start + len] {
+                match views[name as usize].tag(pos as usize) {
+                    NODE => {
+                        nodes += 1;
+                        last_node = (name, pos);
+                    }
+                    ELEM => elems += 1,
+                    _ => {}
+                }
+            }
+            if nodes == 0 {
+                // Leaves only: the join holds an element iff any input does.
+                out.push(if elems > 0 { ELEM } else { EMPTY });
+                continue;
+            }
+            if nodes == 1 {
+                // A single interior subtree absorbs co-located elements
+                // ({prefix} ⊔ n = n for non-empty n): bulk-copy it.
+                let (name, pos) = last_node;
+                let end = ends[name as usize][pos as usize] as usize;
+                out.extend_tags(views[name as usize], pos as usize, end);
+                continue;
+            }
+            // Two or more interior nodes: emit the node, merge the children
+            // pairlists. Each contributing node has a non-empty child, so
+            // the merged node stays canonical.
+            out.push(NODE);
+            let zero_start = cursors.len();
+            for slot in start..start + len {
+                let (name, pos) = cursors[slot];
+                if views[name as usize].tag(pos as usize) == NODE {
+                    cursors.push((name, pos + 1));
+                }
+            }
+            let one_start = cursors.len();
+            for slot in start..start + len {
+                let (name, pos) = cursors[slot];
+                if views[name as usize].tag(pos as usize) == NODE {
+                    cursors.push((name, ends[name as usize][pos as usize + 1]));
+                }
+            }
+            // Pushed one-child first so the zero child pops first: preorder.
+            frames.push((one_start as u32, nodes as u32));
+            frames.push((zero_start as u32, nodes as u32));
         }
         PackedName::from_tags(out)
     }
@@ -920,6 +1104,100 @@ impl PackedName {
             }
         }
         best
+    }
+
+    /// The shallowest string surviving empty-update Section-6 reduction of
+    /// this name (ties broken towards the preorder-first string), or `None`
+    /// when the name is empty.
+    ///
+    /// With an empty update component, the reduction rule collapses every
+    /// *full* subtree — one whose leaves are all elements — to an element
+    /// at its root, recursively. This computes the shallowest element of
+    /// that normal form directly: one postorder fullness pass plus one
+    /// preorder walk that treats maximal full subtrees as elements, instead
+    /// of running the general `reduce_pair` stack machine and then
+    /// searching its output. It is the fused hot path of identity-carrier
+    /// element absorption in `vstamp-store` (`join` + reduce + shrink in a
+    /// single scan of the joined tags).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::PackedName;
+    /// // {00, 01, 1} reduces to {ε}: everything collapses to the root.
+    /// let n: PackedName = "{00, 01, 1}".parse().unwrap();
+    /// assert_eq!(n.collapsed_shallowest(), Some("ε".parse().unwrap()));
+    /// // {00, 01, 11} reduces to {0, 11}: the shallowest survivor is 0.
+    /// let n: PackedName = "{00, 01, 11}".parse().unwrap();
+    /// assert_eq!(n.collapsed_shallowest(), Some("0".parse().unwrap()));
+    /// ```
+    #[must_use]
+    pub fn collapsed_shallowest(&self) -> Option<BitString> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.strings == 1 {
+            return self.shallowest_string();
+        }
+        let view = self.tags.view();
+        COLLAPSE_SCRATCH.with(|cell| {
+            let (full, open) = &mut *cell.borrow_mut();
+            // Pass 1, postorder: `full[i]` ⇔ every leaf under `i` is an
+            // element (the subtree reduces to an element at `i`).
+            full.clear();
+            full.resize(view.len, 0u8);
+            open.clear();
+            for i in 0..view.len {
+                if view.tag(i) == NODE {
+                    open.push((i as u32, 2, 1));
+                    continue;
+                }
+                let mut is_full = u8::from(view.tag(i) == ELEM);
+                full[i] = is_full;
+                while let Some(frame) = open.last_mut() {
+                    frame.2 &= is_full;
+                    frame.1 -= 1;
+                    if frame.1 > 0 {
+                        break;
+                    }
+                    is_full = frame.2;
+                    full[frame.0 as usize] = is_full;
+                    open.pop();
+                }
+            }
+            // Pass 2, preorder: the shallowest element of the normal form —
+            // a maximal full subtree reads as an element at its root.
+            let mut best: Option<BitString> = None;
+            let mut prefix = BitString::empty();
+            let mut branches: Vec<bool> = Vec::new();
+            let mut i = 0usize;
+            while i < view.len {
+                let tag = view.tag(i);
+                if tag == NODE && full[i] == 0 {
+                    branches.push(false);
+                    prefix.push(Bit::Zero);
+                    i += 1;
+                    continue;
+                }
+                let is_elem = tag == ELEM || tag == NODE;
+                if is_elem && !best.as_ref().is_some_and(|b| b.len() <= prefix.len()) {
+                    best = Some(prefix.clone());
+                }
+                i = if tag == NODE { view.subtree_end(i) } else { i + 1 };
+                while let Some(in_one) = branches.last_mut() {
+                    if *in_one {
+                        branches.pop();
+                        prefix.pop();
+                    } else {
+                        *in_one = true;
+                        prefix.pop();
+                        prefix.push(Bit::One);
+                        break;
+                    }
+                }
+            }
+            best
+        })
     }
 
     /// The name `{s}`: a single-string antichain, built directly in tag
@@ -1219,12 +1497,33 @@ struct ReduceScratch {
 /// open-node stack [`TagsView::subtree_ends_into`] fills it with.
 type LocateScratch = (Vec<u32>, Vec<(u32, u8)>);
 
+/// The working vectors of the k-way merge of [`PackedName::join_many`],
+/// pooled per thread: per-input subtree-end tables, the shared open-node
+/// stack, the cursor arena (`(input, position)` pairs) and the frame stack
+/// (ranges of the arena). Cleared, never shrunk.
+#[derive(Default)]
+struct JoinManyScratch {
+    ends: Vec<Vec<u32>>,
+    open: Vec<(u32, u8)>,
+    cursors: Vec<(u32, u32)>,
+    frames: Vec<(u32, u32)>,
+}
+
 thread_local! {
     static REDUCE_SCRATCH: core::cell::RefCell<ReduceScratch> =
         core::cell::RefCell::new(ReduceScratch::default());
     /// Pooled subtree-end index of [`PackedName::locate`]'s deep-query path
     /// (the skip index is rebuilt per query but its buffers are reused).
     static LOCATE_SCRATCH: core::cell::RefCell<LocateScratch> =
+        const { core::cell::RefCell::new((Vec::new(), Vec::new())) };
+    /// Pooled merge state of [`PackedName::join_many`].
+    static JOIN_MANY_SCRATCH: core::cell::RefCell<JoinManyScratch> =
+        core::cell::RefCell::new(JoinManyScratch::default());
+    /// Pooled fullness table and open-node stack of
+    /// [`PackedName::collapsed_shallowest`]: `(index, children left,
+    /// all-full so far)` frames.
+    #[allow(clippy::type_complexity)]
+    static COLLAPSE_SCRATCH: core::cell::RefCell<(Vec<u8>, Vec<(u32, u8, u8)>)> =
         const { core::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
@@ -1501,6 +1800,148 @@ mod tests {
             assert_eq!(shrunk_p.leq(&joined_p), shrunk.leq(&joined_n));
             assert_eq!(joined_p.leq(&shrunk_p), joined_n.leq(&shrunk));
         }
+    }
+
+    #[test]
+    fn join_many_agrees_with_pairwise_fold() {
+        // Every triple and quadruple of samples: the one-pass k-way merge
+        // must equal the pairwise fold exactly (same lattice join).
+        for a in SAMPLES {
+            for b in SAMPLES {
+                for c in SAMPLES {
+                    let inputs = [packed(a), packed(b), packed(c)];
+                    let folded = inputs[0].join(&inputs[1]).join(&inputs[2]);
+                    assert_eq!(
+                        PackedName::join_many(&inputs),
+                        folded,
+                        "join_many mismatch {a} ⊔ {b} ⊔ {c}"
+                    );
+                }
+            }
+        }
+        let quad = [packed("{00, 011}"), packed("{000, 01, 1}"), packed("{}"), packed("{10}")];
+        let folded = quad.iter().fold(PackedName::empty(), |acc, n| acc.join(n));
+        assert_eq!(PackedName::join_many(&quad), folded);
+        // Degenerate arities.
+        assert_eq!(PackedName::join_many(core::iter::empty()), PackedName::empty());
+        assert_eq!(PackedName::join_many([&packed("{01}")]), packed("{01}"));
+        assert_eq!(PackedName::join_many([&packed("{0}"), &packed("{1}")]), packed("{0, 1}"));
+        // Cached aggregates of the merged output stay exact.
+        let joined = PackedName::join_many(&quad);
+        let expected = joined.to_name();
+        assert_eq!(joined.string_count(), expected.len());
+        assert_eq!(joined.bit_size(), expected.bit_size());
+    }
+
+    #[test]
+    fn join_many_matches_fold_on_large_spilled_names() {
+        // Wide deep inputs push every cursor list past the inline buffer
+        // and through the bulk-copy fast path.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut inputs = Vec::new();
+        for _ in 0..6 {
+            let mut n = Name::empty();
+            for _ in 0..40 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let mut s = BitString::empty();
+                for bit in 0..20 {
+                    s.push(Bit::from((state >> (bit % 64)) & 1 == 1));
+                }
+                n.insert(s);
+            }
+            inputs.push(PackedName::from_name(&n));
+        }
+        let folded = inputs.iter().fold(PackedName::empty(), |acc, n| acc.join(n));
+        assert_eq!(PackedName::join_many(&inputs), folded);
+    }
+
+    #[test]
+    fn leq_padded_tail_handles_every_size_boundary() {
+        // Names sized around the 32-tag word boundary (the padded byte-tail
+        // regime) and across the inline/heap spill: the wide-word loop must
+        // agree with the set representation at every shape.
+        let chain = |len: usize, bias: u64| {
+            let mut n = Name::empty();
+            let mut s = BitString::empty();
+            for i in 0..len {
+                s.push(Bit::from((bias >> (i % 7)) & 1 == 1));
+                let mut t = s.clone();
+                t.push(Bit::from((bias >> (i % 5)) & 1 == 0));
+                n.insert(t);
+            }
+            n
+        };
+        for len in [1usize, 2, 3, 7, 8, 15, 16, 17, 31, 32, 33, 40, 63, 64, 65] {
+            let na = chain(len, 0b1011_0110);
+            let nb = chain(len + 2, 0b1011_0110);
+            let nc = chain(len, 0b0110_1001);
+            let (pa, pb, pc) = (
+                PackedName::from_name(&na),
+                PackedName::from_name(&nb),
+                PackedName::from_name(&nc),
+            );
+            assert_eq!(pa.leq(&pb), na.leq(&nb), "leq mismatch at len {len}");
+            assert_eq!(pb.leq(&pa), nb.leq(&na), "reverse leq mismatch at len {len}");
+            assert_eq!(pa.leq(&pc), na.leq(&nc), "cross leq mismatch at len {len}");
+            let joined = pa.join(&pc);
+            assert!(pa.leq(&joined) && pc.leq(&joined), "join bound broken at len {len}");
+            assert_eq!(joined.to_name(), na.join(&nc));
+        }
+    }
+
+    #[test]
+    fn collapsed_shallowest_matches_the_reduction_reference() {
+        // Reference: run the general empty-update reduction, then take the
+        // shallowest string of the normal form. The fused one-pass method
+        // must agree on every sample and every pairwise join of samples.
+        let reference = |name: &PackedName| {
+            let (_, reduced) = PackedName::reduce_pair(&PackedName::empty(), name);
+            reduced.shallowest_string()
+        };
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let joined = packed(a).join(&packed(b));
+                assert_eq!(
+                    joined.collapsed_shallowest(),
+                    reference(&joined),
+                    "collapsed_shallowest mismatch for {a} ⊔ {b}"
+                );
+            }
+        }
+        // Deep fork frontiers: every leaf pair collapses back to the seed.
+        let mut frontier = vec![PackedName::epsilon()];
+        for _ in 0..5 {
+            frontier =
+                frontier.iter().flat_map(|n| [n.append(Bit::Zero), n.append(Bit::One)]).collect();
+        }
+        let rejoined = PackedName::join_many(&frontier);
+        assert_eq!(rejoined.collapsed_shallowest(), Some(BitString::empty()));
+        assert_eq!(rejoined.collapsed_shallowest(), reference(&rejoined));
+        assert_eq!(PackedName::empty().collapsed_shallowest(), None);
+    }
+
+    #[test]
+    fn pooled_buffers_recycle_across_spilled_values() {
+        // Drop a bunch of spilled names, then build new ones: the pool path
+        // must produce byte-identical values (equality is structural).
+        let build = || {
+            let mut n = PackedName::epsilon();
+            for i in 0..120 {
+                n = n.append(if i % 3 == 0 { Bit::One } else { Bit::Zero });
+            }
+            n
+        };
+        let reference = build();
+        for _ in 0..8 {
+            let fresh = build();
+            assert_eq!(fresh, reference);
+            assert_eq!(fresh.clone(), reference);
+            drop(fresh);
+        }
+        let again = build();
+        assert_eq!(again.to_name(), reference.to_name());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! the reports are directly comparable (`bench_store_json` records them).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +54,13 @@ pub struct StoreSimSpec {
     /// Enables the cluster's wall-clock section profiling (GC / join /
     /// relation / codec / lock); the snapshot lands in the report.
     pub profile: bool,
+    /// Client threads driving sessions concurrently over the shared
+    /// cluster. `1` (the default) runs the fully deterministic serial
+    /// schedule; above that each epoch's sessions and anti-entropy pulls
+    /// are split across OS threads, each with an independent causal
+    /// session stream, and the causal oracle is enforced under the real
+    /// interleavings.
+    pub threads: usize,
 }
 
 impl StoreSimSpec {
@@ -69,6 +78,7 @@ impl StoreSimSpec {
             stale_percent: 20,
             seed,
             profile: false,
+            threads: 1,
         }
     }
 
@@ -76,6 +86,61 @@ impl StoreSimSpec {
     #[must_use]
     pub fn with_profile(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// The same spec driven by `threads` concurrent client threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The partition/heal scenario at thread-scaling scale: enough keys
+    /// that writers spread across shards and enough sessions per epoch
+    /// that the parallel phase dominates scheduling overhead. The same
+    /// grid is run at every thread count, so ops/s are comparable.
+    #[must_use]
+    pub fn partition_heal_scaling(seed: u64) -> Self {
+        StoreSimSpec {
+            replicas: 8,
+            shards: 16,
+            keys: 48,
+            rounds: 10,
+            ops_per_round: 320,
+            islands: 3,
+            delete_percent: 5,
+            stale_percent: 20,
+            seed,
+            profile: false,
+            threads: 1,
+        }
+    }
+
+    /// The churn scenario at thread-scaling scale.
+    #[must_use]
+    pub fn churn_scaling(seed: u64) -> Self {
+        StoreSimSpec {
+            replicas: 6,
+            shards: 16,
+            keys: 32,
+            rounds: 10,
+            ops_per_round: 320,
+            islands: 1,
+            delete_percent: 10,
+            stale_percent: 35,
+            seed,
+            profile: false,
+            threads: 1,
+        }
+    }
+
+    /// A seconds-scale shrink of a scaling grid (CI smoke).
+    #[must_use]
+    pub fn smoke_scaling(mut self) -> Self {
+        self.rounds = 4;
+        self.ops_per_round = 96;
+        self.keys = self.keys.min(16);
         self
     }
 
@@ -94,6 +159,7 @@ impl StoreSimSpec {
             stale_percent: 35,
             seed,
             profile: false,
+            threads: 1,
         }
     }
 }
@@ -137,20 +203,23 @@ impl StoreSimReport {
     }
 }
 
-/// The happens-before DAG of the run: per put id, the transitive closure of
-/// the put ids its session had read.
+/// The happens-before DAG of one key: per put id, the transitive closure
+/// of the put ids its session had read. Sessions read and write a single
+/// key, so causal chains never cross keys and the oracle shards cleanly —
+/// which is what lets the concurrent driver stripe it (one mutex per key)
+/// without a global serialization point.
 #[derive(Debug, Default)]
-struct Oracle {
+struct KeyOracle {
     /// `closure[id]` = every id causally before `id` (transitively).
     closure: BTreeMap<u64, BTreeSet<u64>>,
     /// Put ids that were deletes.
     deletes: BTreeSet<u64>,
-    /// Puts per key, in issue order.
-    by_key: BTreeMap<String, Vec<u64>>,
+    /// Puts on this key, in record order.
+    ids: Vec<u64>,
 }
 
-impl Oracle {
-    fn record_write(&mut self, id: u64, key: &str, read_ids: &[u64], delete: bool) {
+impl KeyOracle {
+    fn record_write(&mut self, id: u64, read_ids: &[u64], delete: bool) {
         let mut closure = BTreeSet::new();
         for &seen in read_ids {
             closure.insert(seen);
@@ -162,26 +231,60 @@ impl Oracle {
         if delete {
             self.deletes.insert(id);
         }
-        self.by_key.entry(key.to_owned()).or_default().push(id);
+        self.ids.push(id);
     }
 
     fn covers(&self, later: u64, earlier: u64) -> bool {
         self.closure.get(&later).is_some_and(|closure| closure.contains(&earlier))
     }
 
-    /// Causally maximal writes on a key (nothing on the key covers them).
-    fn maximal(&self, key: &str) -> BTreeSet<u64> {
-        let Some(ids) = self.by_key.get(key) else { return BTreeSet::new() };
-        ids.iter()
+    /// Sibling pairs in `read_ids` where one causally covers the other —
+    /// the false-concurrency count of one read.
+    fn false_concurrency(&self, read_ids: &[u64]) -> usize {
+        let mut violations = 0;
+        for (i, &a) in read_ids.iter().enumerate() {
+            for &b in &read_ids[i + 1..] {
+                if self.covers(a, b) || self.covers(b, a) {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Causally maximal writes on the key (nothing covers them).
+    fn maximal(&self) -> BTreeSet<u64> {
+        self.ids
+            .iter()
             .copied()
-            .filter(|&candidate| !ids.iter().any(|&other| self.covers(other, candidate)))
+            .filter(|&candidate| !self.ids.iter().any(|&other| self.covers(other, candidate)))
             .collect()
     }
 
     /// Expected live values after convergence: maximal writes that are not
     /// deletes.
+    fn expected_live(&self) -> BTreeSet<u64> {
+        self.maximal().into_iter().filter(|id| !self.deletes.contains(id)).collect()
+    }
+}
+
+/// The serial driver's oracle: one [`KeyOracle`] per key.
+#[derive(Debug, Default)]
+struct Oracle {
+    by_key: BTreeMap<String, KeyOracle>,
+}
+
+impl Oracle {
+    fn record_write(&mut self, id: u64, key: &str, read_ids: &[u64], delete: bool) {
+        self.by_key.entry(key.to_owned()).or_default().record_write(id, read_ids, delete);
+    }
+
+    fn false_concurrency(&self, key: &str, read_ids: &[u64]) -> usize {
+        self.by_key.get(key).map_or(0, |oracle| oracle.false_concurrency(read_ids))
+    }
+
     fn expected_live(&self, key: &str) -> BTreeSet<u64> {
-        self.maximal(key).into_iter().filter(|id| !self.deletes.contains(id)).collect()
+        self.by_key.get(key).map_or_else(BTreeSet::new, KeyOracle::expected_live)
     }
 }
 
@@ -202,9 +305,14 @@ struct Snapshot<B: StoreBackend> {
 }
 
 /// Runs a store simulation against the given backend, returning the oracle
-/// report. The schedule is fully determined by `spec` (seeded), so runs are
-/// reproducible and backend reports comparable.
+/// report. With `spec.threads == 1` the schedule is fully determined by
+/// `spec` (seeded), so runs are reproducible and backend reports
+/// comparable; above that the run dispatches to the concurrent driver —
+/// genuinely parallel interleavings, still oracle-exact.
 pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreSimReport {
+    if spec.threads > 1 {
+        return run_store_sim_concurrent(backend, spec);
+    }
     let backend_label = backend.label();
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
@@ -238,28 +346,22 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
                 let replica = rng.gen_range(0..spec.replicas);
                 let key = keys[rng.gen_range(0..keys.len())].clone();
                 let read = cluster.get(replica, &key);
-                let ids: Vec<u64> = read.values.iter().map(|v| decode_id(v)).collect();
+                let ids: Vec<u64> = read.iter_values().map(decode_id).collect();
                 // Oracle check: returned siblings must be pairwise
                 // causally incomparable.
-                for (i, &a) in ids.iter().enumerate() {
-                    for &b in &ids[i + 1..] {
-                        if oracle.covers(a, b) || oracle.covers(b, a) {
-                            false_concurrency += 1;
-                        }
-                    }
-                }
+                false_concurrency += oracle.false_concurrency(&key, &ids);
                 if rng.gen_range(0..100u32) < 30 {
                     snapshots.push(Snapshot {
                         replica,
                         key: key.clone(),
                         read_ids: ids.clone(),
-                        context: read.context.clone(),
+                        context: read.context().cloned(),
                     });
                     if snapshots.len() > 32 {
                         snapshots.remove(0);
                     }
                 }
-                (replica, key, ids, read.context)
+                (replica, key, ids, read.context().cloned())
             };
             let id = next_id;
             next_id += 1;
@@ -329,7 +431,8 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
     let mut resurrections = 0usize;
     for key in &keys {
         let expected = oracle.expected_live(key);
-        let got: BTreeSet<u64> = cluster.get(0, key).values.iter().map(|v| decode_id(v)).collect();
+        let got: BTreeSet<u64> =
+            cluster.get(0, key).values().iter().map(|v| decode_id(v)).collect();
         lost_updates += expected.difference(&got).count();
         resurrections += got.difference(&expected).count();
     }
@@ -339,6 +442,185 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         sessions,
         writes: (next_id - 1) as usize,
         false_concurrency,
+        lost_updates,
+        resurrections,
+        converged,
+        keys_recycled: compaction.keys_recycled + compaction.keys_dropped,
+        final_metrics: cluster.metrics(),
+        metadata_curve,
+        profile: cluster.profile_snapshot(),
+    }
+}
+
+/// A remembered read of the concurrent driver (key by index, so the
+/// oracle stripe resolves without hashing).
+struct ThreadSnapshot<B: StoreBackend> {
+    replica: usize,
+    key_index: usize,
+    read_ids: Vec<u64>,
+    context: Option<B::Clock>,
+}
+
+/// The concurrent driver behind [`run_store_sim`] for `spec.threads > 1`:
+/// every epoch splits its client sessions *and* its intra-island
+/// anti-entropy pulls across OS threads over the one shared cluster, so
+/// writes, reads and gossip genuinely interleave. Each thread runs
+/// independent causal sessions — its own RNG stream and its own
+/// stale-context pool — and the oracle is striped per key (sessions never
+/// cross keys, so the happens-before DAG shards cleanly and recording is
+/// not a global serialization point).
+///
+/// A write is recorded in its key's oracle stripe *before* the put lands
+/// in the cluster, so any concurrent reader that observes the value finds
+/// its causal record already in place; the stripe mutex provides the
+/// ordering. Schedules are intentionally nondeterministic; the oracle
+/// verdict (no lost updates, no false concurrency, no resurrections,
+/// convergence) must still be exact — this is the concurrency stress the
+/// scaling benchmark gates on.
+fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreSimReport {
+    let threads = spec.threads;
+    let backend_label = backend.label();
+    let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
+    if spec.profile {
+        cluster.enable_profiling();
+    }
+    let keys: Vec<String> = (0..spec.keys.max(1)).map(|k| format!("key-{k}")).collect();
+    let oracle: Vec<Mutex<KeyOracle>> =
+        keys.iter().map(|_| Mutex::new(KeyOracle::default())).collect();
+    let next_id = AtomicU64::new(1);
+    let sessions = AtomicUsize::new(0);
+    let false_concurrency = AtomicUsize::new(0);
+    let mut pools: Vec<Vec<ThreadSnapshot<B>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut island_of: Vec<usize> = (0..spec.replicas).map(|r| r % spec.islands.max(1)).collect();
+    let heal_every = (spec.rounds / spec.islands.max(1)).max(1);
+    let mut metadata_curve = Vec::with_capacity(spec.rounds);
+
+    for round in 0..spec.rounds {
+        let islands = island_of.clone();
+        std::thread::scope(|scope| {
+            for (t, pool) in pools.iter_mut().enumerate() {
+                let (cluster, keys, oracle) = (&cluster, &keys, &oracle);
+                let (next_id, sessions, false_concurrency) =
+                    (&next_id, &sessions, &false_concurrency);
+                let islands = &islands;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        spec.seed
+                            ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ ((t as u64 + 1) << 40),
+                    );
+                    let share = spec.ops_per_round / threads
+                        + usize::from(t < spec.ops_per_round % threads);
+                    for _ in 0..share {
+                        let use_stale =
+                            !pool.is_empty() && rng.gen_range(0..100u32) < spec.stale_percent;
+                        let (replica, key_index, read_ids, context) = if use_stale {
+                            let snapshot = pool.remove(rng.gen_range(0..pool.len()));
+                            (
+                                snapshot.replica,
+                                snapshot.key_index,
+                                snapshot.read_ids,
+                                snapshot.context,
+                            )
+                        } else {
+                            let replica = rng.gen_range(0..spec.replicas);
+                            let key_index = rng.gen_range(0..keys.len());
+                            let read = cluster.get(replica, &keys[key_index]);
+                            let ids: Vec<u64> = read.iter_values().map(decode_id).collect();
+                            let violations = oracle[key_index].lock().false_concurrency(&ids);
+                            if violations > 0 {
+                                false_concurrency.fetch_add(violations, Ordering::Relaxed);
+                            }
+                            if rng.gen_range(0..100u32) < 30 {
+                                pool.push(ThreadSnapshot {
+                                    replica,
+                                    key_index,
+                                    read_ids: ids.clone(),
+                                    context: read.context().cloned(),
+                                });
+                                if pool.len() > 32 {
+                                    pool.remove(0);
+                                }
+                            }
+                            (replica, key_index, ids, read.context().cloned())
+                        };
+                        let id = next_id.fetch_add(1, Ordering::Relaxed);
+                        let delete = rng.gen_range(0..100u32) < spec.delete_percent;
+                        // Record before the write lands: a reader that sees
+                        // the value finds its record already in place.
+                        oracle[key_index].lock().record_write(id, &read_ids, delete);
+                        if delete {
+                            cluster.delete(replica, &keys[key_index], context.as_ref());
+                        } else {
+                            cluster.put(replica, &keys[key_index], encode_id(id), context.as_ref());
+                        }
+                        sessions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // This thread's share of the epoch's intra-island pulls,
+                    // interleaved with the other threads' sessions.
+                    let pulls = spec.replicas / threads + usize::from(t < spec.replicas % threads);
+                    for _ in 0..pulls {
+                        let a = rng.gen_range(0..spec.replicas);
+                        let peers: Vec<usize> = (0..spec.replicas)
+                            .filter(|&r| r != a && islands[r] == islands[a])
+                            .collect();
+                        if peers.is_empty() {
+                            continue;
+                        }
+                        let b = peers[rng.gen_range(0..peers.len())];
+                        cluster.anti_entropy(a, b);
+                        cluster.anti_entropy(b, a);
+                    }
+                });
+            }
+        });
+        // Heal: merge the highest island into the lowest remaining one.
+        if (round + 1) % heal_every == 0 {
+            if let Some(&highest) = island_of.iter().max() {
+                if highest > 0 {
+                    for island in island_of.iter_mut() {
+                        if *island == highest {
+                            *island = highest - 1;
+                        }
+                    }
+                }
+            }
+        }
+        metadata_curve.push(cluster.metrics().mean_key_metadata_bits);
+    }
+
+    // Heal everything and settle serially, exactly like the serial driver.
+    let mut converged = false;
+    for _ in 0..spec.replicas * 2 + 4 {
+        for a in 0..spec.replicas {
+            for b in 0..spec.replicas {
+                if a != b {
+                    cluster.anti_entropy(a, b);
+                }
+            }
+        }
+        if cluster.converged() {
+            converged = true;
+            break;
+        }
+    }
+    pools.clear();
+    let compaction = cluster.compact();
+
+    let mut lost_updates = 0usize;
+    let mut resurrections = 0usize;
+    for (key, stripe) in keys.iter().zip(&oracle) {
+        let expected = stripe.lock().expected_live();
+        let got: BTreeSet<u64> = cluster.get(0, key).iter_values().map(decode_id).collect();
+        lost_updates += expected.difference(&got).count();
+        resurrections += got.difference(&expected).count();
+    }
+
+    StoreSimReport {
+        backend: backend_label,
+        sessions: sessions.into_inner(),
+        writes: (next_id.into_inner() - 1) as usize,
+        false_concurrency: false_concurrency.into_inner(),
         lost_updates,
         resurrections,
         converged,
@@ -469,12 +751,7 @@ mod tests {
                 for replica in 0..3usize {
                     for key in ["a", "b"] {
                         let read = cluster.get(replica, key);
-                        cluster.put(
-                            replica,
-                            key,
-                            vec![round, replica as u8],
-                            read.context.as_ref(),
-                        );
+                        cluster.put(replica, key, vec![round, replica as u8], read.context());
                     }
                 }
                 cluster.anti_entropy(usize::from(round) % 3, (usize::from(round) + 1) % 3);
@@ -492,7 +769,7 @@ mod tests {
             }
             for key in ["a", "b"] {
                 let read = cluster.get(0, key);
-                cluster.put(0, key, b"settled".to_vec(), read.context.as_ref());
+                cluster.put(0, key, b"settled".to_vec(), read.context());
             }
             for _ in 0..4 {
                 for a in 0..3 {

@@ -116,6 +116,20 @@ pub trait StoreBackend: Send + Sync + 'static {
     /// Joins two clocks into one causal context.
     fn join_clocks(&self, left: &Self::Clock, right: &Self::Clock) -> Self::Clock;
 
+    /// Joins any number of clocks into one causal context (`None` for an
+    /// empty set) — the k-way form a sibling-set context rebuild uses.
+    /// The default folds [`StoreBackend::join_clocks`] pairwise; backends
+    /// with a native one-pass merge should override it.
+    fn join_clock_set<'a, I>(&self, clocks: I) -> Option<Self::Clock>
+    where
+        I: IntoIterator<Item = &'a Self::Clock>,
+        Self::Clock: 'a,
+    {
+        let mut clocks = clocks.into_iter();
+        let first = clocks.next()?.clone();
+        Some(clocks.fold(first, |acc, clock| self.join_clocks(&acc, clock)))
+    }
+
     /// Records that a version carrying `clock` is now stored somewhere in
     /// the cluster (GC evidence pin; no-op for identifier-based backends).
     fn retain_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock);
@@ -194,11 +208,17 @@ fn fork_tree(replicas: usize) -> Vec<VersionStamp> {
 /// disjoint identity subtrees (Invariant I2), so concurrent writes are
 /// incomparable, while a re-read context acquires the dot and strictly
 /// dominates it.
-fn element_dot(element: &VersionStamp) -> PackedName {
-    let shallowest = element
-        .id_name()
-        .shallowest_string()
-        .expect("live elements own at least one identity string");
+///
+/// Consumes the spent fork half: a single-string id (the steady state
+/// after cover shrinking) *is* its own dot, so the common case moves the
+/// name out instead of rebuilding it.
+fn element_dot(spent: VersionStamp) -> PackedName {
+    let (_, id) = spent.into_parts();
+    if id.string_count() == 1 {
+        return id;
+    }
+    let shallowest =
+        id.shallowest_string().expect("live elements own at least one identity string");
     PackedName::singleton(&shallowest)
 }
 
@@ -286,25 +306,64 @@ impl GcWatermarks {
 /// conversion happens once per *collapse*, not once per transition.
 #[derive(Debug, Default)]
 pub struct VstampKeyState {
-    pins: Vec<(PackedName, u32)>,
+    /// `(quick_hash, footprint, refcount)` — the hash prefilter turns the
+    /// per-transition scan into 64-bit compares, with the byte-equality
+    /// check only on hash hits.
+    pins: Vec<(u64, PackedName, u32)>,
     merges_since_gc: u32,
     degraded: bool,
 }
 
 impl VstampKeyState {
-    fn pin(&mut self, name: PackedName) {
-        match self.pins.iter_mut().find(|(pinned, _)| *pinned == name) {
-            Some((_, count)) => *count += 1,
-            None => self.pins.push((name, 1)),
+    /// Pins a footprint by reference; the owned copy is made only when a
+    /// new table entry is actually inserted (refcount bumps are clone-free).
+    fn pin(&mut self, name: &PackedName) {
+        let hash = name.quick_hash();
+        match self
+            .pins
+            .iter_mut()
+            .find(|(pinned_hash, pinned, _)| *pinned_hash == hash && pinned == name)
+        {
+            Some((_, _, count)) => *count += 1,
+            None => self.pins.push((hash, name.clone(), 1)),
+        }
+    }
+
+    /// Pins the footprint of a whole stamp without materialising it: the
+    /// store's identity carriers have empty updates, so the footprint *is*
+    /// the id component.
+    fn pin_stamp(&mut self, stamp: &VersionStamp) {
+        if stamp.update_name().is_empty() {
+            self.pin(stamp.id_name());
+        } else {
+            self.pin(&packed_footprint(stamp));
+        }
+    }
+
+    /// [`VstampKeyState::unpin`] for a whole stamp, clone-free for
+    /// identity carriers.
+    fn unpin_stamp(&mut self, stamp: &VersionStamp) {
+        if stamp.update_name().is_empty() {
+            self.unpin(stamp.id_name());
+        } else {
+            self.unpin(&packed_footprint(stamp));
         }
     }
 
     fn unpin(&mut self, name: &PackedName) {
-        match self.pins.iter().position(|(pinned, _)| pinned == name) {
+        let hash = name.quick_hash();
+        match self
+            .pins
+            .iter()
+            .position(|(pinned_hash, pinned, _)| *pinned_hash == hash && pinned == name)
+        {
             Some(index) => {
-                self.pins[index].1 -= 1;
-                if self.pins[index].1 == 0 {
-                    self.pins.swap_remove(index);
+                self.pins[index].2 -= 1;
+                if self.pins[index].2 == 0 {
+                    // Ordered removal (not swap_remove): the collapse's
+                    // reverse scan relies on the newest pins staying at the
+                    // back, and the table is a few dozen entries at most.
+                    self.pins.remove(index);
                 }
             }
             // A transition the state never saw: evidence is unreliable from
@@ -319,7 +378,7 @@ impl VstampKeyState {
     /// rest of the frontier: the other live elements, every in-flight fork
     /// half, and every stored version clock.
     fn evidence(&self) -> FrontierEvidence {
-        FrontierEvidence::from_packed_footprints(self.pins.iter().map(|(name, _)| name))
+        FrontierEvidence::from_packed_footprints(self.pins.iter().map(|(_, name, _)| name))
     }
 
     /// Whether evidence tracking lost sync and GC is disabled for this key.
@@ -385,12 +444,17 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> VstampBackend<C>
                 .shallowest_string()
                 .expect("live elements own at least one identity string");
             // Longest prefix of `s` the rest of the frontier still pins;
-            // one deeper is the shallowest legal re-anchor point.
+            // one deeper is the shallowest legal re-anchor point. Scanned
+            // in reverse: the most recently pinned footprints (the latest
+            // spent dots, which block at depth − 1 until their version is
+            // superseded everywhere) sit at the back, so a futile attempt
+            // — re-anchor point at or below the current depth — is proven
+            // by a single descent instead of a full pin sweep.
             let mut blocked: Option<usize> = None;
-            for (pin, _) in &state.pins {
+            for (_, pin, _) in state.pins.iter().rev() {
                 if let Some(len) = pin.dominated_prefix_len(&s) {
                     blocked = Some(blocked.map_or(len, |b| b.max(len)));
-                    if blocked == Some(s.len()) {
+                    if len + 1 >= s.len() {
                         break;
                     }
                 }
@@ -442,7 +506,7 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         let elements = fork_tree(replicas);
         let mut state = VstampKeyState::default();
         for element in &elements {
-            state.pin(packed_footprint(element));
+            state.pin_stamp(element);
         }
         (state, elements)
     }
@@ -468,9 +532,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
             .is_some_and(|w| element.id_name().encoded_bits() as u32 >= w.element_bits)
             && !state.degraded
         {
-            state.unpin(&packed_footprint(element));
+            state.unpin_stamp(element);
             collapsed = self.collapse_element(state, element);
-            state.pin(packed_footprint(&collapsed));
+            state.pin_stamp(&collapsed);
             &collapsed
         } else {
             element
@@ -482,13 +546,13 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         // releases its pin so the collapse pool reclaims the spent half —
         // identity lending instead of counters.
         let (kept, spent) = element.fork();
-        let marker = element_dot(&spent);
+        let marker = element_dot(spent);
         let clock = match context {
             Some(context) => context.join(&marker),
             None => marker,
         };
-        state.unpin(&packed_footprint(element));
-        state.pin(packed_footprint(&kept));
+        state.unpin_stamp(element);
+        state.pin_stamp(&kept);
         (kept, clock)
     }
 
@@ -498,9 +562,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         element: &Self::Element,
     ) -> (Self::Element, Self::Element) {
         let (kept, shipped) = element.fork();
-        state.unpin(&packed_footprint(element));
-        state.pin(packed_footprint(&kept));
-        state.pin(packed_footprint(&shipped));
+        state.unpin_stamp(element);
+        state.pin_stamp(&kept);
+        state.pin_stamp(&shipped);
         (kept, shipped)
     }
 
@@ -510,20 +574,31 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         local: &Self::Element,
         shipped: &Self::Element,
     ) -> Self::Element {
-        state.unpin(&packed_footprint(local));
-        state.unpin(&packed_footprint(shipped));
+        state.unpin_stamp(local);
+        state.unpin_stamp(shipped);
         // Cover shrinking is unconditionally sound for identity-carrier
         // elements (empty update): the dropped strings carry no markers,
         // and every re-minting path is evidence-gated. Without it the
         // absorbed fork halves accumulate one string per exchange — the
         // measured fragmentation wall. It runs at *every* merge; only the
         // evidence-gated collapse below is amortized.
-        let mut result = shrink_identity(&local.join(shipped));
+        let mut result = if local.update_name().is_empty() && shipped.update_name().is_empty() {
+            // Identity carriers take the fused path: join the ids, then
+            // read the shallowest string of the *reduced* join straight
+            // off the joined tags (full sibling subtrees collapse to their
+            // roots) — one linear scan instead of the general reduction
+            // stack machine followed by a shrink pass.
+            let joined = local.id_name().join(shipped.id_name());
+            let s = joined.collapsed_shallowest().expect("joined live ids are non-empty");
+            Stamp::from_parts_unchecked(PackedName::empty(), PackedName::singleton(&s))
+        } else {
+            shrink_identity(&local.join(shipped))
+        };
         state.merges_since_gc += 1;
         if self.collapse_due(state, &result).is_some() {
             result = self.collapse_element(state, &result);
         }
-        state.pin(packed_footprint(&result));
+        state.pin_stamp(&result);
         result
     }
 
@@ -535,9 +610,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         if self.gc.is_none() || state.degraded {
             return None;
         }
-        state.unpin(&packed_footprint(element));
+        state.unpin_stamp(element);
         let rewritten = self.collapse_element(state, &shrink_identity(element));
-        state.pin(packed_footprint(&rewritten));
+        state.pin_stamp(&rewritten);
         (&rewritten != element).then_some(rewritten)
     }
 
@@ -549,8 +624,19 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         left.join(right)
     }
 
+    fn join_clock_set<'a, I>(&self, clocks: I) -> Option<Self::Clock>
+    where
+        I: IntoIterator<Item = &'a Self::Clock>,
+    {
+        // One-pass k-way tag merge: a context rebuild over j siblings is a
+        // single output build instead of j − 1 intermediate names.
+        let mut clocks = clocks.into_iter().peekable();
+        clocks.peek()?;
+        Some(PackedName::join_many(clocks))
+    }
+
     fn retain_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
-        state.pin(clock.clone());
+        state.pin(clock);
     }
 
     fn release_clock(&self, state: &mut Self::KeyState, clock: &Self::Clock) {
@@ -575,12 +661,12 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         let fresh = fork_tree(elements.len());
         *state = VstampKeyState::default();
         for element in &fresh {
-            state.pin(packed_footprint(element));
+            state.pin_stamp(element);
         }
         let fresh_clock = PackedName::epsilon();
         // One pin per replica storing the surviving version.
         for _ in elements {
-            state.pin(fresh_clock.clone());
+            state.pin(&fresh_clock);
         }
         Some((fresh, fresh_clock))
     }

@@ -29,7 +29,9 @@ use parking_lot::Mutex;
 
 use crate::backend::StoreBackend;
 use crate::profile::{ProfileSnapshot, StoreProfile};
-use crate::store::{shard_of, DataPlane, GetResult, Key, KeyData, StoredVersion, Value, Version};
+use crate::store::{
+    DataPlane, GetResult, Key, KeyData, ShardIndexer, StoredVersion, Value, Version,
+};
 use crate::wire::{
     decode_delta, decode_digest, encode_delta, encode_digest, DigestEntry, Envelope, KeyDelta,
     MessageKind,
@@ -90,6 +92,38 @@ pub struct CompactionStats {
     pub elements_flushed: usize,
 }
 
+/// Construction parameters of a [`Cluster`]: replica count and the data/
+/// clock-plane shard count.
+///
+/// The shard count is the concurrency grain of the whole store — every
+/// data-shard lock *and* every clock-plane stripe is per shard — so it
+/// should comfortably exceed the expected number of concurrently-writing
+/// threads. The default (16, a power of two) keeps the key→shard dispatch
+/// on the mask fast path; non-power-of-two counts work and fall back to a
+/// modulo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of replicas (at least 1).
+    pub replicas: usize,
+    /// Number of hash-partitioned shards per replica, also the stripe
+    /// count of the cluster-shared clock plane (at least 1).
+    pub shards: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { replicas: 3, shards: 16 }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with explicit replica and shard counts.
+    #[must_use]
+    pub fn new(replicas: usize, shards: usize) -> Self {
+        ClusterConfig { replicas, shards }
+    }
+}
+
 /// A replicated KV cluster over one [`StoreBackend`]. See the
 /// [module docs](self) and the crate docs for the data model.
 #[derive(Debug)]
@@ -97,7 +131,7 @@ pub struct Cluster<B: StoreBackend> {
     backend: B,
     replicas: Vec<DataPlane<B>>,
     plane: Vec<Mutex<HashMap<Key, KeyPlane<B>>>>,
-    shard_count: usize,
+    shards: ShardIndexer,
     profile: Arc<StoreProfile>,
 }
 
@@ -106,13 +140,19 @@ impl<B: StoreBackend> Cluster<B> {
     /// hash-partitioned shards.
     #[must_use]
     pub fn new(backend: B, replicas: usize, shard_count: usize) -> Self {
-        let replicas = replicas.max(1);
-        let shard_count = shard_count.max(1);
+        Self::with_config(backend, ClusterConfig::new(replicas, shard_count))
+    }
+
+    /// Builds a cluster from a [`ClusterConfig`].
+    #[must_use]
+    pub fn with_config(backend: B, config: ClusterConfig) -> Self {
+        let replicas = config.replicas.max(1);
+        let shards = ShardIndexer::new(config.shards);
         Cluster {
             backend,
-            replicas: (0..replicas).map(|_| DataPlane::new(shard_count)).collect(),
-            plane: (0..shard_count).map(|_| Mutex::new(HashMap::new())).collect(),
-            shard_count,
+            replicas: (0..replicas).map(|_| DataPlane::new(shards.count())).collect(),
+            plane: (0..shards.count()).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards,
             profile: Arc::new(StoreProfile::default()),
         }
     }
@@ -148,21 +188,42 @@ impl<B: StoreBackend> Cluster<B> {
     /// Number of shards per replica.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shard_count
+        self.shards.count()
     }
 
-    /// Causal read at one replica: the live sibling values plus the context
-    /// a follow-up [`Cluster::put`] should carry. The context is the sibling
-    /// set's cached join — no clock is folded on the read path.
+    /// Causal read at one replica: a shared snapshot of the sibling set
+    /// (live values plus the context a follow-up [`Cluster::put`] should
+    /// carry).
+    ///
+    /// Contention-free read path: the write path publishes each key's
+    /// sibling set as an `Arc`-swapped
+    /// [`KeySnapshot`](crate::store::KeySnapshot), so a get is one hash
+    /// lookup and one `Arc` clone under a shard read lock held for
+    /// nanoseconds — no write lock, no context fold, no version clones,
+    /// and gossip or GC bookkeeping on *other* shards never touches it.
     #[must_use]
     pub fn get(&self, replica: usize, key: &str) -> GetResult<B> {
-        let shard = self.replicas[replica].shard(shard_of(key, self.shard_count)).read();
-        match shard.get(key) {
-            Some(data) => GetResult {
-                values: data.siblings.live_values(),
-                context: data.siblings.context().cloned(),
-            },
-            None => GetResult { values: Vec::new(), context: None },
+        let shard = self.replicas[replica].shard(self.shards.index(key)).read();
+        GetResult::new(shard.get(key).and_then(|data| data.siblings.snapshot()))
+    }
+
+    /// The pre-snapshot reference read path: materializes the live values
+    /// and clones the context *while holding the shard read lock*. Kept so
+    /// the `store-read` criterion group can A/B the snapshot path against
+    /// it; serving code should use [`Cluster::get`].
+    #[must_use]
+    pub fn get_materialized(&self, replica: usize, key: &str) -> (Vec<Value>, Option<B::Clock>) {
+        let shard = self.replicas[replica].shard(self.shards.index(key)).read();
+        match shard.get(key).and_then(|data| data.siblings.snapshot()) {
+            Some(snapshot) => (
+                snapshot
+                    .versions()
+                    .iter()
+                    .filter_map(|version| version.version().value.clone())
+                    .collect(),
+                Some(snapshot.context().clone()),
+            ),
+            None => (Vec::new(), None),
         }
     }
 
@@ -194,7 +255,7 @@ impl<B: StoreBackend> Cluster<B> {
         value: Option<Value>,
         context: Option<&B::Clock>,
     ) -> B::Clock {
-        let shard_index = shard_of(key, self.shard_count);
+        let shard_index = self.shards.index(key);
         let (mut plane, mut shard) = {
             let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
             (self.plane[shard_index].lock(), self.replicas[replica].shard(shard_index).write())
@@ -245,7 +306,7 @@ impl<B: StoreBackend> Cluster<B> {
     #[must_use]
     pub fn build_digest(&self, replica: usize) -> Vec<DigestEntry> {
         let mut entries = Vec::new();
-        for shard_index in 0..self.shard_count {
+        for shard_index in 0..self.shards.count() {
             let shard = self.replicas[replica].shard(shard_index).read();
             for (key, data) in shard.iter() {
                 entries.push(DigestEntry { key: key.clone(), fingerprint: data.fingerprint() });
@@ -264,7 +325,7 @@ impl<B: StoreBackend> Cluster<B> {
         let requested: HashMap<&str, u64> =
             digest.iter().map(|entry| (entry.key.as_str(), entry.fingerprint)).collect();
         let mut deltas = Vec::new();
-        for shard_index in 0..self.shard_count {
+        for shard_index in 0..self.shards.count() {
             let keys: Vec<Key> = {
                 let shard = self.replicas[responder].shard(shard_index).read();
                 shard
@@ -305,7 +366,7 @@ impl<B: StoreBackend> Cluster<B> {
     /// backend's merge-time GC) plus sibling merges.
     pub fn apply_delta(&self, requester: usize, deltas: Vec<KeyDelta<B>>) {
         for delta in deltas {
-            let shard_index = shard_of(&delta.key, self.shard_count);
+            let shard_index = self.shards.index(&delta.key);
             let (mut plane, mut shard) = {
                 let _timer =
                     self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
@@ -473,7 +534,7 @@ impl<B: StoreBackend> Cluster<B> {
 
     fn sibling_snapshot(&self, replica: usize) -> HashMap<Key, Vec<Vec<u8>>> {
         let mut snapshot = HashMap::new();
-        for shard_index in 0..self.shard_count {
+        for shard_index in 0..self.shards.count() {
             let shard = self.replicas[replica].shard(shard_index).read();
             for (key, data) in shard.iter() {
                 snapshot.insert(key.clone(), data.siblings.canonical_versions());
@@ -498,7 +559,7 @@ impl<B: StoreBackend> Cluster<B> {
     /// the exclusive borrow enforces exactly that.
     pub fn compact(&mut self) -> CompactionStats {
         let mut stats = CompactionStats::default();
-        for shard_index in 0..self.shard_count {
+        for shard_index in 0..self.shards.count() {
             let plane = self.plane[shard_index].get_mut();
             let keys: Vec<Key> = plane.keys().cloned().collect();
             for key in keys {
@@ -586,7 +647,7 @@ impl<B: StoreBackend> Cluster<B> {
         let mut per_key_total = 0usize;
         let mut max_key_metadata_bits = 0usize;
         for replica in &self.replicas {
-            for shard_index in 0..self.shard_count {
+            for shard_index in 0..self.shards.count() {
                 let shard = replica.shard(shard_index).read();
                 for (key, data) in shard.iter() {
                     keys.insert(key.clone());
@@ -643,15 +704,15 @@ mod tests {
         let cluster = Cluster::new(VstampBackend::gc(), 3, 4);
         cluster.put(0, "cart", b"milk".to_vec(), None);
         let read = cluster.get(0, "cart");
-        assert_eq!(read.values, vec![b"milk".to_vec()]);
-        let context = read.context.expect("key present");
+        assert_eq!(read.values(), vec![b"milk".to_vec()]);
+        let context = read.context().cloned().expect("key present");
         cluster.put(0, "cart", b"milk+bread".to_vec(), Some(&context));
         let read = cluster.get(0, "cart");
-        assert_eq!(read.values, vec![b"milk+bread".to_vec()]);
+        assert_eq!(read.values(), vec![b"milk+bread".to_vec()]);
         // Another replica sees nothing until anti-entropy runs.
-        assert!(cluster.get(1, "cart").values.is_empty());
+        assert!(cluster.get(1, "cart").values().is_empty());
         cluster.anti_entropy(1, 0);
-        assert_eq!(cluster.get(1, "cart").values, vec![b"milk+bread".to_vec()]);
+        assert_eq!(cluster.get(1, "cart").values(), vec![b"milk+bread".to_vec()]);
     }
 
     #[test]
@@ -661,14 +722,66 @@ mod tests {
         cluster.put(1, "k", b"right".to_vec(), None);
         cluster.anti_entropy(0, 1);
         let read = cluster.get(0, "k");
-        assert_eq!(read.values.len(), 2, "concurrent writes must both survive");
+        assert_eq!(read.values().len(), 2, "concurrent writes must both survive");
         // A context-carrying resolution collapses the siblings.
-        let context = read.context.unwrap();
+        let context = read.context().cloned().unwrap();
         cluster.put(0, "k", b"merged".to_vec(), Some(&context));
-        assert_eq!(cluster.get(0, "k").values, vec![b"merged".to_vec()]);
+        assert_eq!(cluster.get(0, "k").values(), vec![b"merged".to_vec()]);
         full_sweep(&cluster);
         assert!(cluster.converged());
-        assert_eq!(cluster.get(1, "k").values, vec![b"merged".to_vec()]);
+        assert_eq!(cluster.get(1, "k").values(), vec![b"merged".to_vec()]);
+    }
+
+    #[test]
+    fn get_snapshots_are_point_in_time_stable() {
+        let cluster = Cluster::new(VstampBackend::gc(), 2, 4);
+        cluster.put(0, "k", b"v1".to_vec(), None);
+        let before = cluster.get(0, "k");
+        let held = before.snapshot().cloned().expect("key present");
+        // A later write swaps the published snapshot but must not disturb
+        // a handle a reader already holds.
+        cluster.put(0, "k", b"v2".to_vec(), before.context());
+        assert_eq!(before.values(), vec![b"v1".to_vec()]);
+        assert_eq!(held.versions().len(), 1);
+        let after = cluster.get(0, "k");
+        assert_eq!(after.values(), vec![b"v2".to_vec()]);
+        // The reference (materializing) path agrees with the snapshot path.
+        let (values, context) = cluster.get_materialized(0, "k");
+        assert_eq!(values, after.values());
+        assert_eq!(context.as_ref(), after.context());
+        assert_eq!(cluster.get_materialized(0, "missing"), (Vec::new(), None));
+        // Absent keys stay snapshot-free; tombstoned keys keep a context.
+        assert!(cluster.get(0, "missing").snapshot().is_none());
+        cluster.delete(0, "k", after.context());
+        let tombstoned = cluster.get(0, "k");
+        assert_eq!(tombstoned.live_len(), 0);
+        assert!(tombstoned.context().is_some());
+    }
+
+    #[test]
+    fn cluster_config_controls_sharding() {
+        let cluster = Cluster::with_config(VstampBackend::gc(), ClusterConfig::default());
+        assert_eq!(cluster.shard_count(), 16);
+        assert_eq!(cluster.replica_count(), 3);
+        // Non-power-of-two shard counts take the modulo path and still
+        // round-trip traffic correctly.
+        let odd = Cluster::with_config(DynamicVvBackend::new(), ClusterConfig::new(2, 7));
+        assert_eq!(odd.shard_count(), 7);
+        for i in 0..24 {
+            odd.put(i % 2, &format!("key-{i}"), vec![i as u8], None);
+        }
+        for _ in 0..2 {
+            odd.anti_entropy(0, 1);
+            odd.anti_entropy(1, 0);
+        }
+        assert!(odd.converged());
+        for i in 0..24 {
+            assert_eq!(odd.get(1, &format!("key-{i}")).values(), vec![vec![i as u8]]);
+        }
+        // Degenerate configs clamp instead of panicking.
+        let tiny = Cluster::with_config(VstampBackend::eager(), ClusterConfig::new(0, 0));
+        assert_eq!(tiny.replica_count(), 1);
+        assert_eq!(tiny.shard_count(), 1);
     }
 
     #[test]
@@ -687,13 +800,13 @@ mod tests {
         let mut cluster = Cluster::new(VstampBackend::gc(), 2, 2);
         cluster.put(0, "gone", b"v".to_vec(), None);
         full_sweep(&cluster);
-        let context = cluster.get(1, "gone").context.unwrap();
+        let context = cluster.get(1, "gone").context().cloned().unwrap();
         cluster.delete(1, "gone", Some(&context));
         full_sweep(&cluster);
-        assert!(cluster.get(0, "gone").values.is_empty());
+        assert!(cluster.get(0, "gone").values().is_empty());
         let stats = cluster.compact();
         assert_eq!(stats.keys_dropped, 1);
-        assert!(cluster.get(0, "gone").context.is_none());
+        assert!(cluster.get(0, "gone").context().is_none());
         assert_eq!(cluster.metrics().keys, 0);
     }
 
@@ -714,10 +827,10 @@ mod tests {
         );
         // Causality still works after the re-mint: a new write dominates.
         let read = cluster.get(2, "k");
-        assert_eq!(read.values, vec![b"v2".to_vec()]);
-        cluster.put(2, "k", b"v3".to_vec(), read.context.as_ref());
+        assert_eq!(read.values(), vec![b"v2".to_vec()]);
+        cluster.put(2, "k", b"v3".to_vec(), read.context());
         full_sweep(&cluster);
-        assert_eq!(cluster.get(0, "k").values, vec![b"v3".to_vec()]);
+        assert_eq!(cluster.get(0, "k").values(), vec![b"v3".to_vec()]);
     }
 
     #[test]
@@ -729,7 +842,7 @@ mod tests {
         for round in 0..30u8 {
             for replica in 0..3 {
                 let read = cluster.get(replica, "k");
-                cluster.put(replica, "k", vec![round, replica as u8], read.context.as_ref());
+                cluster.put(replica, "k", vec![round, replica as u8], read.context());
             }
             cluster.anti_entropy(usize::from(round) % 3, (usize::from(round) + 1) % 3);
         }
@@ -745,9 +858,9 @@ mod tests {
         assert!(cluster.metrics().element_bits_total < before);
         // Causality is intact afterwards.
         let read = cluster.get(0, "k");
-        cluster.put(0, "k", b"final".to_vec(), read.context.as_ref());
+        cluster.put(0, "k", b"final".to_vec(), read.context());
         full_sweep(&cluster);
-        assert_eq!(cluster.get(2, "k").values, vec![b"final".to_vec()]);
+        assert_eq!(cluster.get(2, "k").values(), vec![b"final".to_vec()]);
     }
 
     #[test]
@@ -756,7 +869,7 @@ mod tests {
         cluster.enable_profiling();
         for i in 0..8u8 {
             let read = cluster.get(i as usize % 2, "p");
-            cluster.put(i as usize % 2, "p", vec![i], read.context.as_ref());
+            cluster.put(i as usize % 2, "p", vec![i], read.context());
         }
         cluster.anti_entropy(0, 1);
         cluster.anti_entropy(1, 0);
@@ -782,7 +895,7 @@ mod tests {
         assert!(cluster.converged());
         for i in 0..20 {
             for replica in 0..4 {
-                assert_eq!(cluster.get(replica, &format!("key-{i}")).values, vec![vec![i as u8]]);
+                assert_eq!(cluster.get(replica, &format!("key-{i}")).values(), vec![vec![i as u8]]);
             }
         }
     }
@@ -795,11 +908,11 @@ mod tests {
         full_sweep(&cluster);
         assert!(cluster.converged());
         let read = cluster.get(2, "k");
-        assert_eq!(read.values.len(), 2);
-        let context = read.context.unwrap();
+        assert_eq!(read.values().len(), 2);
+        let context = read.context().cloned().unwrap();
         cluster.put(2, "k", b"resolved".to_vec(), Some(&context));
         full_sweep(&cluster);
-        assert_eq!(cluster.get(0, "k").values, vec![b"resolved".to_vec()]);
+        assert_eq!(cluster.get(0, "k").values(), vec![b"resolved".to_vec()]);
         assert_eq!(cluster.metrics().label, "dynamic-vv");
     }
 
@@ -809,12 +922,7 @@ mod tests {
         for round in 0..30 {
             for replica in 0..3 {
                 let read = cluster.get(replica, "hot");
-                cluster.put(
-                    replica,
-                    "hot",
-                    vec![round as u8, replica as u8],
-                    read.context.as_ref(),
-                );
+                cluster.put(replica, "hot", vec![round as u8, replica as u8], read.context());
             }
             cluster.anti_entropy(round % 3, (round + 1) % 3);
         }

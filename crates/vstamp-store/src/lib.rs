@@ -46,11 +46,11 @@
 //! cluster.put(1, "cart", b"bread".to_vec(), None);
 //! cluster.anti_entropy(0, 1); // replica 0 pulls from replica 1
 //! let read = cluster.get(0, "cart");
-//! assert_eq!(read.values.len(), 2); // both writes survived
+//! assert_eq!(read.values().len(), 2); // both writes survived
 //!
 //! // …and a context-carrying write resolves them.
-//! cluster.put(0, "cart", b"milk+bread".to_vec(), read.context.as_ref());
-//! assert_eq!(cluster.get(0, "cart").values, vec![b"milk+bread".to_vec()]);
+//! cluster.put(0, "cart", b"milk+bread".to_vec(), read.context());
+//! assert_eq!(cluster.get(0, "cart").values(), vec![b"milk+bread".to_vec()]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -64,9 +64,9 @@ pub mod store;
 pub mod wire;
 
 pub use backend::{DvvClock, DynamicVvBackend, GcWatermarks, StoreBackend, VstampBackend};
-pub use cluster::{Cluster, CompactionStats, ExchangeStats, StoreMetrics};
+pub use cluster::{Cluster, ClusterConfig, CompactionStats, ExchangeStats, StoreMetrics};
 pub use profile::{ProfileSnapshot, SectionSnapshot, StoreProfile};
-pub use store::{GetResult, Key, StoredVersion, Value, Version};
+pub use store::{GetResult, Key, KeySnapshot, StoredVersion, Value, Version};
 pub use wire::{DigestEntry, Envelope, KeyDelta, MessageKind};
 
 #[cfg(test)]
@@ -80,9 +80,9 @@ mod tests {
         cluster.put(1, "cart", b"bread".to_vec(), None);
         cluster.anti_entropy(0, 1);
         let read = cluster.get(0, "cart");
-        assert_eq!(read.values.len(), 2);
-        cluster.put(0, "cart", b"milk+bread".to_vec(), read.context.as_ref());
-        assert_eq!(cluster.get(0, "cart").values, vec![b"milk+bread".to_vec()]);
+        assert_eq!(read.values().len(), 2);
+        cluster.put(0, "cart", b"milk+bread".to_vec(), read.context());
+        assert_eq!(cluster.get(0, "cart").values(), vec![b"milk+bread".to_vec()]);
     }
 
     #[test]

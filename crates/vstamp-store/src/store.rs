@@ -30,7 +30,11 @@
 //!   fast paths — byte-equal clocks short-circuit to `Equal` with all
 //!   other relations known (`Concurrent`), and a `put` whose context
 //!   equals the cached set context supersedes every sibling with **zero**
-//!   relation checks (its fresh dot makes the domination strict).
+//!   relation checks (its fresh dot makes the domination strict);
+//! * the whole set is published as an **`Arc`-swapped [`KeySnapshot`]**
+//!   rebuilt once per mutation, so a causal `get` under concurrency is one
+//!   `Arc` clone under a briefly-held shard read lock — contention-free
+//!   against writers on other keys of the shard and copy-free always.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -158,26 +162,89 @@ fn version_hash(clock_bytes: &[u8], value: Option<&[u8]>) -> u64 {
     }
 }
 
-/// The outcome of a causal `get`: the live sibling values plus the causal
-/// context a follow-up `put` should carry to supersede them.
+/// An immutable point-in-time view of one key's sibling set: the stored
+/// versions (shared `Arc` handles, no copies) plus the set's joined
+/// context clock.
+///
+/// The sibling set maintains one of these behind an `Arc` and swaps it on
+/// every mutation, so a causal `get` is a single `Arc` clone under a
+/// briefly-held shard read lock — it never takes a write lock, folds a
+/// context, or clones a version, and the view it returns stays coherent
+/// however many writes land afterwards.
+#[derive(Debug)]
+pub struct KeySnapshot<B: StoreBackend> {
+    versions: Vec<StoredVersion<B>>,
+    context: B::Clock,
+}
+
+impl<B: StoreBackend> KeySnapshot<B> {
+    /// Every stored version of the key at snapshot time, tombstones
+    /// included.
+    #[must_use]
+    pub fn versions(&self) -> &[StoredVersion<B>] {
+        &self.versions
+    }
+
+    /// The joined context clock of the whole set (what a follow-up `put`
+    /// carries to supersede it).
+    #[must_use]
+    pub fn context(&self) -> &B::Clock {
+        &self.context
+    }
+}
+
+/// The outcome of a causal `get`: a shared [`KeySnapshot`] of the sibling
+/// set, or nothing when the key is absent at this replica.
 #[derive(Debug)]
 pub struct GetResult<B: StoreBackend> {
+    snapshot: Option<Arc<KeySnapshot<B>>>,
+}
+
+impl<B: StoreBackend> GetResult<B> {
+    pub(crate) fn new(snapshot: Option<Arc<KeySnapshot<B>>>) -> Self {
+        GetResult { snapshot }
+    }
+
+    /// The underlying shared snapshot (`None` when the key is absent).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<&Arc<KeySnapshot<B>>> {
+        self.snapshot.as_ref()
+    }
+
     /// Live (non-tombstone) sibling values, one per concurrent write.
-    pub values: Vec<Value>,
+    /// Allocates a fresh vector; the borrow-based
+    /// [`GetResult::iter_values`] is the hot-path accessor.
+    #[must_use]
+    pub fn values(&self) -> Vec<Value> {
+        self.iter_values().map(<[u8]>::to_vec).collect()
+    }
+
+    /// Borrowing iterator over the live sibling values.
+    pub fn iter_values(&self) -> impl Iterator<Item = &[u8]> {
+        self.snapshot
+            .iter()
+            .flat_map(|snapshot| snapshot.versions.iter())
+            .filter_map(|version| version.version().value.as_deref())
+    }
+
+    /// Number of live (non-tombstone) siblings.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.iter_values().count()
+    }
+
     /// Join of every stored sibling clock (tombstones included), or `None`
-    /// when the key is absent at this replica.
-    pub context: Option<B::Clock>,
+    /// when the key is absent at this replica — the causal context a
+    /// follow-up `put` should carry.
+    #[must_use]
+    pub fn context(&self) -> Option<&B::Clock> {
+        self.snapshot.as_ref().map(|snapshot| &snapshot.context)
+    }
 }
 
 impl<B: StoreBackend> Clone for GetResult<B> {
     fn clone(&self) -> Self {
-        GetResult { values: self.values.clone(), context: self.context.clone() }
-    }
-}
-
-impl<B: StoreBackend> PartialEq for GetResult<B> {
-    fn eq(&self, other: &Self) -> bool {
-        self.values == other.values && self.context == other.context
+        GetResult { snapshot: self.snapshot.clone() }
     }
 }
 
@@ -190,11 +257,28 @@ pub(crate) struct SiblingSet<B: StoreBackend> {
     context: Option<B::Clock>,
     /// Order-independent combination of the version hashes.
     versions_hash: u64,
+    /// The shared read-path view, swapped wholesale after every mutation:
+    /// `get` hands out an `Arc` clone of this and touches nothing else.
+    snapshot: Option<Arc<KeySnapshot<B>>>,
 }
 
 impl<B: StoreBackend> SiblingSet<B> {
     fn new() -> Self {
-        SiblingSet { versions: Vec::new(), context: None, versions_hash: 0 }
+        SiblingSet { versions: Vec::new(), context: None, versions_hash: 0, snapshot: None }
+    }
+
+    /// The shared point-in-time view (`None` iff the set is empty).
+    pub(crate) fn snapshot(&self) -> Option<Arc<KeySnapshot<B>>> {
+        self.snapshot.clone()
+    }
+
+    /// Rebuilds the read-path snapshot after a mutation: `Arc` bumps of the
+    /// stored versions plus one context clone — the write pays this so
+    /// every read pays nothing.
+    fn refresh_snapshot(&mut self) {
+        self.snapshot = self.context.as_ref().map(|context| {
+            Arc::new(KeySnapshot { versions: self.versions.clone(), context: context.clone() })
+        });
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -205,7 +289,9 @@ impl<B: StoreBackend> SiblingSet<B> {
         self.versions.iter()
     }
 
-    /// The cached causal context of the whole set (tombstones included).
+    /// The cached causal context of the whole set (tombstones included;
+    /// test accessor — the serving read path reads it off the snapshot).
+    #[cfg(test)]
     pub(crate) fn context(&self) -> Option<&B::Clock> {
         self.context.as_ref()
     }
@@ -220,7 +306,9 @@ impl<B: StoreBackend> SiblingSet<B> {
         }
     }
 
-    /// Live sibling values, in stored order.
+    /// Live sibling values, in stored order (test accessor; the serving
+    /// read path goes through [`SiblingSet::snapshot`]).
+    #[cfg(test)]
     pub(crate) fn live_values(&self) -> Vec<Value> {
         self.versions.iter().filter_map(|v| v.version.value.clone()).collect()
     }
@@ -256,13 +344,11 @@ impl<B: StoreBackend> SiblingSet<B> {
     }
 
     /// Recomputes the cached context after evictions (joins are not
-    /// invertible, so removal cannot update it incrementally).
+    /// invertible, so removal cannot update it incrementally). One k-way
+    /// join over the surviving clocks — [`StoreBackend::join_clock_set`]
+    /// builds a single output instead of folding pairwise.
     fn refresh_context(&mut self, backend: &B) {
-        let mut clocks = self.versions.iter().map(StoredVersion::clock);
-        self.context = clocks.next().map(|first| {
-            let first = first.clone();
-            clocks.fold(first, |acc, clock| backend.join_clocks(&acc, clock))
-        });
+        self.context = backend.join_clock_set(self.versions.iter().map(StoredVersion::clock));
     }
 
     /// Evicts every stored sibling and stores `incoming` — the
@@ -279,6 +365,7 @@ impl<B: StoreBackend> SiblingSet<B> {
         self.versions_hash = 0;
         self.context = None;
         self.push(backend, incoming);
+        self.refresh_snapshot();
         evicted
     }
 
@@ -339,6 +426,9 @@ impl<B: StoreBackend> SiblingSet<B> {
         if store_incoming {
             self.push(backend, incoming);
         }
+        if store_incoming || !evicted.is_empty() {
+            self.refresh_snapshot();
+        }
         MergeOutcome { stored: store_incoming, evicted }
     }
 
@@ -361,6 +451,7 @@ impl<B: StoreBackend> SiblingSet<B> {
             if refresh {
                 self.refresh_context(backend);
             }
+            self.refresh_snapshot();
             MergeOutcome { stored: true, evicted: vec![evicted] }
         } else {
             MergeOutcome { stored: false, evicted: Vec::new() }
@@ -376,6 +467,7 @@ impl<B: StoreBackend> SiblingSet<B> {
         self.versions_hash = 0;
         self.context = None;
         self.push(backend, fresh);
+        self.refresh_snapshot();
     }
 }
 
@@ -470,10 +562,40 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_extend(FNV_OFFSET, bytes)
 }
 
-/// Shard index of a key.
-#[must_use]
-pub(crate) fn shard_of(key: &str, shard_count: usize) -> usize {
-    (fnv1a(key.as_bytes()) % shard_count as u64) as usize
+/// Shard index dispatch: hash-partitions keys across a fixed shard count,
+/// resolved once at cluster construction. Power-of-two counts (the
+/// [`ClusterConfig`](crate::ClusterConfig) default) dispatch with a single
+/// mask instead of a 64-bit modulo on every key touch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardIndexer {
+    count: usize,
+    /// `count − 1` when `count` is a power of two; `u64::MAX` marks the
+    /// general modulo path.
+    mask: u64,
+}
+
+impl ShardIndexer {
+    pub(crate) fn new(count: usize) -> Self {
+        let count = count.max(1);
+        let mask = if count.is_power_of_two() { count as u64 - 1 } else { u64::MAX };
+        ShardIndexer { count, mask }
+    }
+
+    /// The shard count the indexer dispatches over.
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Shard index of a key.
+    #[inline]
+    pub(crate) fn index(&self, key: &str) -> usize {
+        let hash = fnv1a(key.as_bytes());
+        if self.mask == u64::MAX {
+            (hash % self.count as u64) as usize
+        } else {
+            (hash & self.mask) as usize
+        }
+    }
 }
 
 #[cfg(test)]
@@ -583,7 +705,21 @@ mod tests {
     #[test]
     fn fnv_and_sharding_are_stable() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(shard_of("cart:alice", 8), shard_of("cart:alice", 8));
-        assert!(shard_of("x", 4) < 4);
+        let pow2 = ShardIndexer::new(8);
+        assert_eq!(pow2.index("cart:alice"), pow2.index("cart:alice"));
+        assert!(pow2.index("x") < 8);
+        assert_eq!(pow2.count(), 8);
+        // The mask dispatch must agree with the generic modulo: a power of
+        // two makes `hash & (n − 1)` and `hash % n` identical.
+        for key in ["a", "cart:alice", "π-keys", "", "key-42"] {
+            let hash = fnv1a(key.as_bytes());
+            assert_eq!(pow2.index(key), (hash % 8) as usize, "mask/modulo split for {key:?}");
+        }
+        let odd = ShardIndexer::new(7);
+        for key in ["a", "b", "key-3"] {
+            assert_eq!(odd.index(key), (fnv1a(key.as_bytes()) % 7) as usize);
+            assert!(odd.index(key) < 7);
+        }
+        assert_eq!(ShardIndexer::new(0).count(), 1);
     }
 }

@@ -34,7 +34,7 @@ fn main() {
 
     // Alice starts the cart at replica 0.
     let read = cluster.get(0, key);
-    cluster.put(0, key, cart(&["milk"]), read.context.as_ref());
+    cluster.put(0, key, cart(&["milk"]), read.context());
     println!("alice @ replica 0: puts [milk]");
 
     // The cart replicates to replica 2, where Bob shops.
@@ -42,14 +42,14 @@ fn main() {
     let bob_read = cluster.get(2, key);
     println!(
         "bob   @ replica 2: sees {:?}",
-        bob_read.values.iter().map(|v| items(v)).collect::<Vec<_>>()
+        bob_read.values().iter().map(|v| items(v)).collect::<Vec<_>>()
     );
 
     // Concurrently: Alice adds bread (against her old read), Bob adds beer
     // (against his). Neither knows of the other's update.
     let alice_read = cluster.get(0, key);
-    cluster.put(0, key, cart(&["milk", "bread"]), alice_read.context.as_ref());
-    cluster.put(2, key, cart(&["milk", "beer"]), bob_read.context.as_ref());
+    cluster.put(0, key, cart(&["milk", "bread"]), alice_read.context());
+    cluster.put(2, key, cart(&["milk", "beer"]), bob_read.context());
     println!("alice @ replica 0: puts [milk, bread]   (concurrent)");
     println!("bob   @ replica 2: puts [milk, beer]    (concurrent)");
 
@@ -67,7 +67,7 @@ fn main() {
     // Replica 1 now surfaces both concurrent carts as siblings — no update
     // was lost, and the store did not invent a winner.
     let read = cluster.get(1, key);
-    let siblings: Vec<Vec<String>> = read.values.iter().map(|v| items(v)).collect();
+    let siblings: Vec<Vec<String>> = read.values().iter().map(|v| items(v)).collect();
     println!("client @ replica 1: siblings {siblings:?}");
     assert_eq!(siblings.len(), 2, "both concurrent updates must survive");
 
@@ -77,7 +77,7 @@ fn main() {
     merged.sort();
     merged.dedup();
     let merged_value = merged.join(",").into_bytes();
-    cluster.put(1, key, merged_value, read.context.as_ref());
+    cluster.put(1, key, merged_value, read.context());
     println!("client @ replica 1: merges into {merged:?}");
 
     for _ in 0..2 {
@@ -92,8 +92,8 @@ fn main() {
     assert!(cluster.converged(), "anti-entropy must converge");
     for replica in 0..3 {
         let read = cluster.get(replica, key);
-        assert_eq!(read.values.len(), 1);
-        assert_eq!(items(&read.values[0]), merged);
+        assert_eq!(read.values().len(), 1);
+        assert_eq!(items(&read.values()[0]), merged);
     }
     println!("all replicas agree on {merged:?}");
 
@@ -112,7 +112,7 @@ fn main() {
 
     // Causality still tracks across the recycled universe.
     let read = cluster.get(2, key);
-    cluster.put(2, key, cart(&["milk", "bread", "beer", "chips"]), read.context.as_ref());
+    cluster.put(2, key, cart(&["milk", "bread", "beer", "chips"]), read.context());
     for requester in 0..3 {
         for responder in 0..3 {
             if requester != responder {
@@ -121,6 +121,6 @@ fn main() {
         }
     }
     let read = cluster.get(0, key);
-    assert_eq!(read.values.len(), 1);
-    println!("bob adds chips after compaction: {:?}", items(&read.values[0]));
+    assert_eq!(read.values().len(), 1);
+    println!("bob adds chips after compaction: {:?}", items(&read.values()[0]));
 }
