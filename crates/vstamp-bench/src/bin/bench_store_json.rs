@@ -45,7 +45,7 @@ use vstamp_store::{DynamicVvBackend, VstampBackend};
 /// The PR this binary's rows are labelled with in the `throughput`
 /// trajectory section; bump when a later PR regenerates the artifact so
 /// earlier rows are preserved as history instead of overwritten.
-const CURRENT_PR: u32 = 5;
+const CURRENT_PR: u32 = 6;
 
 /// Timing passes per cell; the best (shortest) pass is reported, and the
 /// backends are interleaved across passes so host-speed drift hits every
@@ -96,6 +96,93 @@ struct ScalingRow {
     threads: usize,
     ops_per_sec: f64,
     exact: bool,
+}
+
+/// One bytes-on-wire cell: a scenario × backend × wire-mode run.
+/// `adaptive` is the delta codec as shipped, `full-frames` the pre-delta
+/// baseline, and `forced-miss` the adaptive codec with every fingerprint
+/// deliberately flipped so each delta frame takes the NAK/full-frame
+/// fallback — the oracle gates all three identically.
+struct WireRow {
+    scenario: &'static str,
+    mode: &'static str,
+    report: StoreSimReport,
+}
+
+/// The bytes-on-wire grid for one scenario: every backend in every wire
+/// mode, single pass each (byte counts are schedule-determined, not
+/// timed).
+fn run_wire(scenario: &'static str, base: &StoreSimSpec, rows: &mut Vec<WireRow>) {
+    println!(
+        "\n{scenario} wire: {} replicas, {} rounds x {} sessions, {} keys",
+        base.replicas, base.rounds, base.ops_per_round, base.keys
+    );
+    for (mode, spec) in [
+        ("adaptive", *base),
+        ("full-frames", base.with_full_frames_only()),
+        ("forced-miss", base.with_perturbed_fingerprints()),
+    ] {
+        let mut push = |report: StoreSimReport| {
+            let wire = &report.wire;
+            println!(
+                "  {:<18} {:<11} {:>7.0} B/exchange  epoch {:>6.0} B/exchange  repl {:>6.0} B/exchange  {:>6.1} B/version ({:>5} shipped + {:>5} skipped)  deltas={:<6} probes={}/{:<6} naks={:<5} exact={}",
+                report.backend,
+                mode,
+                wire.mean_bytes_per_exchange(),
+                wire.converged_bytes_per_exchange,
+                wire.replication_bytes_per_exchange(),
+                wire.bytes_per_delivered_version(),
+                wire.delta_frames + wire.full_frames,
+                wire.versions_skipped,
+                wire.delta_frames,
+                wire.root_matches,
+                wire.root_probes,
+                wire.nak_refetches,
+                report.is_exact()
+            );
+            rows.push(WireRow { scenario, mode, report });
+        };
+        push(run_store_sim(VstampBackend::gc(), &spec));
+        push(run_store_sim(VstampBackend::eager(), &spec));
+        push(run_store_sim(DynamicVvBackend::new(), &spec));
+    }
+}
+
+fn wire_json(rows: &[WireRow]) -> String {
+    rows.iter()
+        .map(|row| {
+            let wire = &row.report.wire;
+            let curve: Vec<String> =
+                wire.bytes_per_exchange_curve.iter().map(|point| format!("{point:.1}")).collect();
+            format!(
+                "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"mode\": \"{}\", \"exchanges\": {}, \"digest_bytes\": {}, \"delta_bytes\": {}, \"delta_frames\": {}, \"full_frames\": {}, \"nak_refetches\": {}, \"wire_bytes_saved\": {}, \"frame_bytes\": {}, \"delta_frame_bytes\": {}, \"versions_skipped\": {}, \"root_probes\": {}, \"root_matches\": {}, \"bytes_per_exchange\": {:.1}, \"replication_bytes_per_exchange\": {:.1}, \"bytes_per_delivered_version\": {:.2}, \"clock_bytes_per_version\": {:.2}, \"settle_bytes_per_exchange\": {:.1}, \"converged_bytes_per_exchange\": {:.1}, \"exact\": {}, \"bytes_per_exchange_curve\": [{}]}}",
+                row.scenario,
+                row.report.backend,
+                row.mode,
+                wire.exchanges,
+                wire.digest_bytes,
+                wire.delta_bytes,
+                wire.delta_frames,
+                wire.full_frames,
+                wire.nak_refetches,
+                wire.wire_bytes_saved,
+                wire.frame_bytes,
+                wire.delta_frame_bytes,
+                wire.versions_skipped,
+                wire.root_probes,
+                wire.root_matches,
+                wire.mean_bytes_per_exchange(),
+                wire.replication_bytes_per_exchange(),
+                wire.bytes_per_delivered_version(),
+                wire.clock_bytes_per_version(),
+                wire.settle_bytes_per_exchange,
+                wire.converged_bytes_per_exchange,
+                row.report.is_exact(),
+                curve.join(", ")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
 }
 
 /// One timing pass of a cell: (report, elapsed seconds).
@@ -320,6 +407,7 @@ fn main() {
         .unwrap_or(0);
     let seed = seed_from_args();
     let smoke = smoke_mode() || args.iter().any(|a| a == "--smoke");
+    let wire_only = args.iter().any(|a| a == "--wire-only");
     let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
     println!("seed = {seed}{}, host cpus = {host_cpus}", if smoke { " (smoke grid)" } else { "" });
 
@@ -332,14 +420,20 @@ fn main() {
     } else {
         StoreSimSpec::partition_heal(8, 16, seed)
     };
-    run_all("partition-heal", &partition, passes, &mut rows);
-
     let churn =
         if smoke { StoreSimSpec::churn(3, 8, seed) } else { StoreSimSpec::churn(6, 24, seed) };
-    run_all("churn", &churn, passes, &mut rows);
+    if !wire_only {
+        run_all("partition-heal", &partition, passes, &mut rows);
+        run_all("churn", &churn, passes, &mut rows);
+    }
+
+    header("bytes on wire — adaptive delta frames vs full-frame baseline");
+    let mut wire_rows = Vec::new();
+    run_wire("partition-heal", &partition, &mut wire_rows);
+    run_wire("churn", &churn, &mut wire_rows);
 
     let mut scaling_rows = Vec::new();
-    if threads_max > 0 {
+    if threads_max > 0 && !wire_only {
         header("thread scaling — concurrent sessions over the shared cluster");
         let counts = thread_counts(threads_max);
         let scaling_passes = if smoke { 1 } else { 2 };
@@ -357,9 +451,107 @@ fn main() {
         run_scaling("churn", &churn_spec, &counts, scaling_passes, &mut scaling_rows);
     }
 
-    let exact =
-        rows.iter().all(|row| row.report.is_exact()) && scaling_rows.iter().all(|row| row.exact);
-    println!("\nall runs causally exact and converged (concurrent included): {exact}");
+    let exact = rows.iter().all(|row| row.report.is_exact())
+        && scaling_rows.iter().all(|row| row.exact)
+        && wire_rows.iter().all(|row| row.report.is_exact());
+    println!(
+        "\nall runs causally exact and converged (concurrent and forced-miss included): {exact}"
+    );
+
+    // Headline: steady-state (converged-epoch) bytes per exchange and
+    // replication bytes per delivered version, adaptive vs the PR 5
+    // full-frame baseline recorded in this same artifact.
+    let wire_cell = |scenario: &str, backend: &str, mode: &str| {
+        wire_rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.report.backend == backend && r.mode == mode)
+            .map(|r| r.report.wire.clone())
+    };
+    for scenario in ["partition-heal", "churn"] {
+        for backend in ["version-stamps-gc", "version-stamps", "dynamic-vv"] {
+            let (Some(adaptive), Some(full)) = (
+                wire_cell(scenario, backend, "adaptive"),
+                wire_cell(scenario, backend, "full-frames"),
+            ) else {
+                continue;
+            };
+            println!(
+                "{scenario} wire, {backend}: converged epochs {:.0} -> {:.0} B/exchange ({:.1}x), repl {:.1} -> {:.1} B/version, mean {:.0} -> {:.0} B/exchange",
+                full.converged_bytes_per_exchange,
+                adaptive.converged_bytes_per_exchange,
+                full.converged_bytes_per_exchange / adaptive.converged_bytes_per_exchange.max(0.01),
+                full.bytes_per_delivered_version(),
+                adaptive.bytes_per_delivered_version(),
+                full.mean_bytes_per_exchange(),
+                adaptive.mean_bytes_per_exchange(),
+            );
+        }
+    }
+
+    // Wire gates. The adaptive wire must actually exercise each of its
+    // three levers on every backend and grid: delta frames shipped, probe
+    // fast path hit, versions dedup-skipped; forced misses must fall back
+    // through NAK/full-frame refetch (and never match a probe). And the
+    // headline acceptance: at steady state (post-heal converged epochs,
+    // measured on both grids) the stamp backends' bytes per exchange must
+    // be at least 5x below the PR 5 full-frame baseline recorded in this
+    // same artifact.
+    for row in &wire_rows {
+        match row.mode {
+            "adaptive" => {
+                assert!(
+                    row.report.wire.delta_frames > 0,
+                    "{}/{}: adaptive codec shipped no delta frames",
+                    row.scenario,
+                    row.report.backend
+                );
+                assert!(
+                    row.report.wire.root_matches > 0,
+                    "{}/{}: digest-root probe never hit",
+                    row.scenario,
+                    row.report.backend
+                );
+                assert!(
+                    row.report.wire.versions_skipped > 0,
+                    "{}/{}: dedup never skipped a version",
+                    row.scenario,
+                    row.report.backend
+                );
+            }
+            "forced-miss" => {
+                assert!(
+                    row.report.wire.nak_refetches > 0,
+                    "{}/{}: forced misses never hit the NAK fallback",
+                    row.scenario,
+                    row.report.backend
+                );
+                assert_eq!(
+                    row.report.wire.root_matches, 0,
+                    "{}/{}: a perturbed probe matched",
+                    row.scenario, row.report.backend
+                );
+            }
+            _ => {}
+        }
+    }
+    for scenario in ["partition-heal", "churn"] {
+        for backend in ["version-stamps-gc", "version-stamps"] {
+            let (Some(adaptive), Some(full)) = (
+                wire_cell(scenario, backend, "adaptive"),
+                wire_cell(scenario, backend, "full-frames"),
+            ) else {
+                continue;
+            };
+            let ratio =
+                full.converged_bytes_per_exchange / adaptive.converged_bytes_per_exchange.max(0.01);
+            assert!(
+                ratio >= 5.0,
+                "{scenario}/{backend}: steady-state bytes per exchange shrank only {ratio:.2}x (< 5x): {:.0} -> {:.0} B",
+                full.converged_bytes_per_exchange,
+                adaptive.converged_bytes_per_exchange
+            );
+        }
+    }
 
     // Headline: per-key metadata of stamps (GC) vs the dynamic-VV baseline.
     let gc_bits: f64 = rows
@@ -422,6 +614,12 @@ fn main() {
         json.push_str(&throughput_json(&rows));
         json.push_str("\n  ],\n");
     }
+    // The wire grid is recorded even on smoke runs: byte ratios are
+    // schedule-relative (adaptive vs baseline on the same grid), so they
+    // stay meaningful at smoke scale and CI can gate on them.
+    json.push_str("  \"wire\": [\n");
+    json.push_str(&wire_json(&wire_rows));
+    json.push_str("\n  ],\n");
     if !scaling_rows.is_empty() && !smoke {
         json.push_str("  \"scaling\": [\n");
         json.push_str(&scaling_json(&scaling_rows));

@@ -315,6 +315,103 @@ pub fn read_frame<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], DecodeError> {
     Ok(payload)
 }
 
+/// Frame-kind byte for a clock shipped as its full canonical encoding.
+pub const CLOCK_FRAME_FULL: u8 = 0;
+/// Frame-kind byte for a clock shipped as a delta: the version's dot plus
+/// the fingerprint of the context the sender assumes the receiver shares.
+pub const CLOCK_FRAME_DELTA: u8 = 1;
+
+/// A clock on the wire: either the full canonical clock encoding, or a
+/// **delta** — just the minting dot plus an O(1) fingerprint of the context
+/// the sender assumes the receiver already holds. The receiver reconstructs
+/// `clock = context ⊔ dot` when the fingerprint matches, and falls back to
+/// requesting the full frame when it does not; correctness never depends on
+/// the fingerprint, only the fast path does.
+///
+/// Layout: one kind byte ([`CLOCK_FRAME_FULL`] or [`CLOCK_FRAME_DELTA`]),
+/// then a length-prefixed frame holding the clock (full) or dot (delta)
+/// encoding, then — delta only — the fingerprint as 8 little-endian bytes.
+/// Both arms borrow: encoding copies from the version's cached canonical
+/// bytes, decoding hands back subslices of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaFrame<'a> {
+    /// The clock's full canonical encoding.
+    Full {
+        /// Encoded clock bytes (codec-canonical).
+        clock: &'a [u8],
+    },
+    /// The minting dot plus the assumed-context fingerprint.
+    Delta {
+        /// Encoded dot bytes (codec-canonical).
+        dot: &'a [u8],
+        /// Fingerprint of the context the sender assumes is shared.
+        ctx_fp: u64,
+    },
+}
+
+impl DeltaFrame<'_> {
+    /// Encoded size of this frame in bytes, including the kind byte and
+    /// length prefix — what [`write_delta_frame`] will append.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            DeltaFrame::Full { clock } => 1 + varint_len(clock.len() as u64) + clock.len(),
+            DeltaFrame::Delta { dot, .. } => 1 + varint_len(dot.len() as u64) + dot.len() + 8,
+        }
+    }
+}
+
+/// Number of bytes [`write_varint`] emits for `value`.
+#[must_use]
+pub fn varint_len(value: u64) -> usize {
+    let bits = (u64::BITS - value.leading_zeros()).max(1) as usize;
+    bits.div_ceil(7)
+}
+
+/// Appends a [`DeltaFrame`] to `out`: kind byte, framed clock or dot bytes,
+/// and (delta only) the 8-byte little-endian context fingerprint.
+pub fn write_delta_frame(out: &mut Vec<u8>, frame: &DeltaFrame<'_>) {
+    match frame {
+        DeltaFrame::Full { clock } => {
+            out.push(CLOCK_FRAME_FULL);
+            write_frame(out, clock);
+        }
+        DeltaFrame::Delta { dot, ctx_fp } => {
+            out.push(CLOCK_FRAME_DELTA);
+            write_frame(out, dot);
+            out.extend_from_slice(&ctx_fp.to_le_bytes());
+        }
+    }
+}
+
+/// Reads one [`DeltaFrame`] from the front of `input`, advancing it past
+/// the frame. The returned clock/dot bytes borrow from `input` and are
+/// **not** validated here — hand them to the codec's `decode_name` (or the
+/// backend's clock decoder) for canonicality checking.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEnd`] on truncation and
+/// [`DecodeError::Malformed`] on an unknown kind byte.
+pub fn read_delta_frame<'a>(input: &mut &'a [u8]) -> Result<DeltaFrame<'a>, DecodeError> {
+    let (&kind, rest) = input.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+    *input = rest;
+    match kind {
+        CLOCK_FRAME_FULL => Ok(DeltaFrame::Full { clock: read_frame(input)? }),
+        CLOCK_FRAME_DELTA => {
+            let dot = read_frame(input)?;
+            if input.len() < 8 {
+                return Err(DecodeError::UnexpectedEnd);
+            }
+            let (fp_bytes, rest) = input.split_at(8);
+            *input = rest;
+            let ctx_fp = u64::from_le_bytes(fp_bytes.try_into().expect("split_at(8) yields 8"));
+            Ok(DeltaFrame::Delta { dot, ctx_fp })
+        }
+        _ => Err(DecodeError::Malformed("unknown clock frame kind")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

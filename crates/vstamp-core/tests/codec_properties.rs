@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use vstamp_core::codec::{
-    read_frame, read_varint, write_frame, write_varint, BitTrieCodec, StampCodec, VarintCodec,
+    read_delta_frame, read_frame, read_varint, write_delta_frame, write_frame, write_varint,
+    BitTrieCodec, DeltaFrame, StampCodec, VarintCodec,
 };
 use vstamp_core::{
     Bit, BitString, DecodeError, Name, NameLike, NameTree, PackedName, VersionStamp,
@@ -174,6 +175,113 @@ proptest! {
                 prop_assert!(decoded.validate().is_ok());
             }
         }
+    }
+
+    /// Both delta-frame kinds round-trip the codec-canonical bytes of every
+    /// name representation, consume exactly what they wrote, and report
+    /// their encoded size exactly via `encoded_len`.
+    #[test]
+    fn delta_frames_roundtrip_every_representation(n in name(7, 10), ctx_fp in any::<u64>()) {
+        for bytes in [
+            StampCodec::<Name>::encode_name(&BitTrieCodec, &n),
+            StampCodec::<NameTree>::encode_name(&BitTrieCodec, &NameTree::from_name(&n)),
+            StampCodec::<PackedName>::encode_name(&BitTrieCodec, &PackedName::from_name(&n)),
+            StampCodec::<Name>::encode_name(&VarintCodec, &n),
+            StampCodec::<NameTree>::encode_name(&VarintCodec, &NameTree::from_name(&n)),
+            StampCodec::<PackedName>::encode_name(&VarintCodec, &PackedName::from_name(&n)),
+        ] {
+            for frame in [
+                DeltaFrame::Full { clock: &bytes },
+                DeltaFrame::Delta { dot: &bytes, ctx_fp },
+            ] {
+                let mut out = Vec::new();
+                write_delta_frame(&mut out, &frame);
+                prop_assert_eq!(out.len(), frame.encoded_len());
+                let mut input = out.as_slice();
+                prop_assert_eq!(read_delta_frame(&mut input).unwrap(), frame);
+                prop_assert!(input.is_empty());
+            }
+        }
+    }
+
+    /// Every strict prefix of either delta-frame kind fails to decode with
+    /// an error — truncations never panic and never yield a frame.
+    #[test]
+    fn delta_frame_truncations_error_cleanly(s in stamp(8), ctx_fp in any::<u64>()) {
+        let clock = VarintCodec.encode_stamp(&s);
+        for frame in [
+            DeltaFrame::Full { clock: &clock },
+            DeltaFrame::Delta { dot: &clock, ctx_fp },
+        ] {
+            let mut wire = Vec::new();
+            write_delta_frame(&mut wire, &frame);
+            for cut in 0..wire.len() {
+                let mut input = &wire[..cut];
+                prop_assert!(
+                    read_delta_frame(&mut input).is_err(),
+                    "delta-frame decoder accepted a truncation at {cut}"
+                );
+            }
+        }
+    }
+
+    /// Arbitrary byte soup never panics the delta-frame decoder, and any
+    /// unknown kind byte is rejected as malformed up front.
+    #[test]
+    fn delta_frame_fuzzing_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64), kind in 2u8..=u8::MAX) {
+        let mut input = bytes.as_slice();
+        let _ = read_delta_frame(&mut input);
+        let mut tagged = vec![kind];
+        tagged.extend_from_slice(&bytes);
+        let mut input = tagged.as_slice();
+        prop_assert!(matches!(read_delta_frame(&mut input), Err(DecodeError::Malformed(_))));
+    }
+
+    /// The delta fast path and the fingerprint-miss fallback converge on
+    /// the same clock: when the receiver's context fingerprint matches it
+    /// reconstructs `context ⊔ dot` from the delta frame; when perturbed it
+    /// refetches the full frame — either way it ends holding exactly the
+    /// sender's clock, so correctness never depends on the fingerprint.
+    #[test]
+    fn fingerprint_miss_falls_back_and_converges(ctx in stamp(8), perturb in any::<u64>()) {
+        let (context, spare) = ctx.fork();
+        let dot = spare.update();
+        let clock = context.join_non_reducing(&dot);
+
+        // O(1) context fingerprint: each side hashes its own context view.
+        let fingerprint = |bytes: &[u8]| {
+            bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |hash, byte| {
+                (hash ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3)
+            })
+        };
+        let sender_fp = fingerprint(&VarintCodec.encode_stamp(&context));
+        let receiver_fp = sender_fp ^ perturb;
+
+        let dot_bytes = VarintCodec.encode_stamp(&dot);
+        let mut wire = Vec::new();
+        write_delta_frame(&mut wire, &DeltaFrame::Delta { dot: &dot_bytes, ctx_fp: sender_fp });
+        let mut input = wire.as_slice();
+        let DeltaFrame::Delta { dot: dot_frame, ctx_fp } = read_delta_frame(&mut input).unwrap()
+        else {
+            return Err(TestCaseError::Fail("delta frame decoded as full".into()));
+        };
+        let received = if ctx_fp == receiver_fp {
+            // Fast path: one join against the shared context.
+            context.join_non_reducing(&VarintCodec.decode_stamp(dot_frame).unwrap())
+        } else {
+            // Miss: NAK and refetch the full canonical frame.
+            let clock_bytes = VarintCodec.encode_stamp(&clock);
+            let mut wire = Vec::new();
+            write_delta_frame(&mut wire, &DeltaFrame::Full { clock: &clock_bytes });
+            let mut input = wire.as_slice();
+            let DeltaFrame::Full { clock: frame } = read_delta_frame(&mut input).unwrap()
+            else {
+                return Err(TestCaseError::Fail("full frame decoded as delta".into()));
+            };
+            VarintCodec.decode_stamp(frame).unwrap()
+        };
+        prop_assert_eq!(&received, &clock);
+        prop_assert_eq!(perturb == 0, ctx_fp == receiver_fp);
     }
 
     /// Varints and frames round-trip and report consumed lengths exactly.

@@ -26,7 +26,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vstamp_store::{Cluster, ProfileSnapshot, StoreBackend, StoreMetrics};
+use vstamp_store::{
+    Cluster, ClusterConfig, GossipStats, ProfileSnapshot, StoreBackend, StoreMetrics,
+};
 
 /// Parameters of a store simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +63,13 @@ pub struct StoreSimSpec {
     /// session stream, and the causal oracle is enforced under the real
     /// interleavings.
     pub threads: usize,
+    /// Disables delta clock frames on the wire (the pre-delta full-frame
+    /// baseline); the oracle gates the run either way.
+    pub full_frames_only: bool,
+    /// Deliberately flips every shipped context fingerprint so each delta
+    /// frame misses at the receiver and the NAK/full-frame fallback
+    /// carries the exchange — the forced-miss correctness drill.
+    pub perturb_fingerprints: bool,
 }
 
 impl StoreSimSpec {
@@ -79,6 +88,8 @@ impl StoreSimSpec {
             seed,
             profile: false,
             threads: 1,
+            full_frames_only: false,
+            perturb_fingerprints: false,
         }
     }
 
@@ -94,6 +105,34 @@ impl StoreSimSpec {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// The same spec with delta clock frames disabled (full-frame
+    /// baseline wire).
+    #[must_use]
+    pub fn with_full_frames_only(mut self) -> Self {
+        self.full_frames_only = true;
+        self
+    }
+
+    /// The same spec with every shipped fingerprint deliberately flipped,
+    /// forcing the NAK/full-frame fallback on every would-be delta frame.
+    #[must_use]
+    pub fn with_perturbed_fingerprints(mut self) -> Self {
+        self.perturb_fingerprints = true;
+        self
+    }
+
+    /// The cluster wiring this spec asks for.
+    fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig::new(self.replicas, self.shards);
+        if self.full_frames_only {
+            config = config.without_delta_frames();
+        }
+        if self.perturb_fingerprints {
+            config = config.with_perturbed_fingerprints();
+        }
+        config
     }
 
     /// The partition/heal scenario at thread-scaling scale: enough keys
@@ -114,6 +153,8 @@ impl StoreSimSpec {
             seed,
             profile: false,
             threads: 1,
+            full_frames_only: false,
+            perturb_fingerprints: false,
         }
     }
 
@@ -132,6 +173,8 @@ impl StoreSimSpec {
             seed,
             profile: false,
             threads: 1,
+            full_frames_only: false,
+            perturb_fingerprints: false,
         }
     }
 
@@ -160,6 +203,8 @@ impl StoreSimSpec {
             seed,
             profile: false,
             threads: 1,
+            full_frames_only: false,
+            perturb_fingerprints: false,
         }
     }
 }
@@ -190,6 +235,132 @@ pub struct StoreSimReport {
     /// Wall-clock section breakdown (zeros unless the spec enabled
     /// profiling).
     pub profile: ProfileSnapshot,
+    /// Bytes-on-wire accounting for the whole run.
+    pub wire: WireReport,
+}
+
+/// Bytes-on-wire accounting of one run: cumulative totals plus the
+/// per-epoch bytes-per-exchange curve the benchmark plots. All byte
+/// counts are envelope-inclusive (kind byte, sender id, length prefix).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireReport {
+    /// Anti-entropy exchanges performed (epochs plus settle sweeps).
+    pub exchanges: usize,
+    /// Digest payload bytes shipped, envelopes included.
+    pub digest_bytes: usize,
+    /// Delta payload bytes shipped (including NAKs and full-frame
+    /// refetches after fingerprint misses), envelopes included.
+    pub delta_bytes: usize,
+    /// Versions shipped as delta frames (dot + fingerprint).
+    pub delta_frames: usize,
+    /// Versions shipped as full clock frames.
+    pub full_frames: usize,
+    /// Keys refetched as full frames after a fingerprint miss.
+    pub nak_refetches: usize,
+    /// Bytes the delta frames saved against full-frame encodings of the
+    /// same versions.
+    pub wire_bytes_saved: usize,
+    /// Total bytes of the clock frames shipped (full and delta).
+    pub frame_bytes: usize,
+    /// The delta frames' share of `frame_bytes`.
+    pub delta_frame_bytes: usize,
+    /// Versions never shipped because the requester's digest proved it
+    /// already held them.
+    pub versions_skipped: usize,
+    /// Exchanges opened with an O(1) digest-root probe.
+    pub root_probes: usize,
+    /// Probes that hit: converged peers that exchanged only the probe.
+    pub root_matches: usize,
+    /// Mean payload bytes (digest + delta) per exchange, one entry per
+    /// epoch.
+    pub bytes_per_exchange_curve: Vec<f64>,
+    /// Mean payload bytes per exchange across the post-heal converged
+    /// epochs: full sweeps run after the cluster has converged, when an
+    /// exchange costs only the protocol's probe of choice — the full
+    /// digest for the PR 5 baseline, the 8-byte root for the adaptive
+    /// wire. The steady-state figure of the bytes-on-wire benchmark.
+    pub converged_bytes_per_exchange: f64,
+    /// Mean payload bytes per exchange across the post-heal settle
+    /// sweeps — the steady-state figure the delta codec targets.
+    pub settle_bytes_per_exchange: f64,
+}
+
+impl WireReport {
+    /// Mean payload bytes per exchange across the whole run.
+    #[must_use]
+    pub fn mean_bytes_per_exchange(&self) -> f64 {
+        let total = self.digest_bytes + self.delta_bytes;
+        total as f64 / self.exchanges.max(1) as f64
+    }
+
+    /// Mean clock-frame bytes per replicated version — the figure the
+    /// delta codec drives towards O(1).
+    #[must_use]
+    pub fn clock_bytes_per_version(&self) -> f64 {
+        let versions = self.delta_frames + self.full_frames;
+        self.frame_bytes as f64 / versions.max(1) as f64
+    }
+
+    /// Replication-payload bytes per exchange: the delta direction alone,
+    /// excluding the fixed digest probe both wires pay identically.
+    #[must_use]
+    pub fn replication_bytes_per_exchange(&self) -> f64 {
+        self.delta_bytes as f64 / self.exchanges.max(1) as f64
+    }
+
+    /// Versions an exchange's delta brought the requester up to date on:
+    /// the ones actually shipped plus the ones dedup proved it already
+    /// held (the full-frame baseline reships those, so its count is just
+    /// the shipped frames).
+    #[must_use]
+    pub fn versions_delivered(&self) -> usize {
+        self.delta_frames + self.full_frames + self.versions_skipped
+    }
+
+    /// Replication-payload bytes per delivered version — the headline
+    /// figure the adaptive wire drives towards O(1) per version.
+    #[must_use]
+    pub fn bytes_per_delivered_version(&self) -> f64 {
+        self.delta_bytes as f64 / self.versions_delivered().max(1) as f64
+    }
+}
+
+/// Full sweeps run after convergence to measure the steady-state wire.
+const CONVERGED_EPOCH_SWEEPS: usize = 4;
+
+/// Mean payload bytes per exchange between two cumulative snapshots.
+fn bytes_per_exchange(before: GossipStats, after: GossipStats) -> f64 {
+    let bytes = (after.digest_bytes + after.delta_bytes)
+        .saturating_sub(before.digest_bytes + before.delta_bytes);
+    let exchanges = after.exchanges.saturating_sub(before.exchanges);
+    bytes as f64 / exchanges.max(1) as f64
+}
+
+/// Folds the final cumulative gossip counters and the sampled curve into
+/// the report's [`WireReport`].
+fn wire_report(
+    totals: GossipStats,
+    bytes_per_exchange_curve: Vec<f64>,
+    settle_bytes_per_exchange: f64,
+    converged_bytes_per_exchange: f64,
+) -> WireReport {
+    WireReport {
+        exchanges: totals.exchanges,
+        digest_bytes: totals.digest_bytes,
+        delta_bytes: totals.delta_bytes,
+        delta_frames: totals.delta_frames,
+        full_frames: totals.full_frames,
+        nak_refetches: totals.nak_refetches,
+        wire_bytes_saved: totals.wire_bytes_saved,
+        frame_bytes: totals.frame_bytes,
+        delta_frame_bytes: totals.delta_frame_bytes,
+        versions_skipped: totals.versions_skipped,
+        root_probes: totals.root_probes,
+        root_matches: totals.root_matches,
+        bytes_per_exchange_curve,
+        settle_bytes_per_exchange,
+        converged_bytes_per_exchange,
+    }
 }
 
 impl StoreSimReport {
@@ -315,7 +486,7 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
     }
     let backend_label = backend.label();
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
+    let mut cluster = Cluster::with_config(backend, spec.cluster_config());
     if spec.profile {
         cluster.enable_profiling();
     }
@@ -325,6 +496,8 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
     let mut false_concurrency = 0usize;
     let mut snapshots: Vec<Snapshot<B>> = Vec::new();
     let mut metadata_curve = Vec::with_capacity(spec.rounds);
+    let mut wire_curve = Vec::with_capacity(spec.rounds);
+    let mut wire_mark = cluster.gossip_stats();
 
     // Replica → island assignment; islands merge as rounds progress.
     let mut island_of: Vec<usize> = (0..spec.replicas).map(|r| r % spec.islands.max(1)).collect();
@@ -401,6 +574,9 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         }
 
         metadata_curve.push(cluster.metrics().mean_key_metadata_bits);
+        let wire_now = cluster.gossip_stats();
+        wire_curve.push(bytes_per_exchange(wire_mark, wire_now));
+        wire_mark = wire_now;
     }
 
     // Heal everything and run sweeps until converged (bounded).
@@ -422,6 +598,24 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         }
     }
 
+    let settle_totals = cluster.gossip_stats();
+    let settle_bytes = bytes_per_exchange(wire_mark, settle_totals);
+
+    // Converged epochs: anti-entropy keeps running after convergence, and
+    // what those idle exchanges cost is the protocol's steady-state wire
+    // overhead — the whole digest for the full-frame baseline, the 8-byte
+    // root probe for the adaptive wire.
+    for _ in 0..CONVERGED_EPOCH_SWEEPS {
+        for a in 0..spec.replicas {
+            for b in 0..spec.replicas {
+                if a != b {
+                    cluster.anti_entropy(a, b);
+                }
+            }
+        }
+    }
+    let converged_bytes = bytes_per_exchange(settle_totals, cluster.gossip_stats());
+
     // Quiescent-point compaction (snapshots are dead by now).
     snapshots.clear();
     let compaction = cluster.compact();
@@ -437,6 +631,7 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         resurrections += got.difference(&expected).count();
     }
 
+    let wire_totals = cluster.gossip_stats();
     StoreSimReport {
         backend: backend_label,
         sessions,
@@ -449,6 +644,7 @@ pub fn run_store_sim<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreS
         final_metrics: cluster.metrics(),
         metadata_curve,
         profile: cluster.profile_snapshot(),
+        wire: wire_report(wire_totals, wire_curve, settle_bytes, converged_bytes),
     }
 }
 
@@ -480,7 +676,7 @@ struct ThreadSnapshot<B: StoreBackend> {
 fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) -> StoreSimReport {
     let threads = spec.threads;
     let backend_label = backend.label();
-    let mut cluster = Cluster::new(backend, spec.replicas, spec.shards);
+    let mut cluster = Cluster::with_config(backend, spec.cluster_config());
     if spec.profile {
         cluster.enable_profiling();
     }
@@ -494,6 +690,8 @@ fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) ->
     let mut island_of: Vec<usize> = (0..spec.replicas).map(|r| r % spec.islands.max(1)).collect();
     let heal_every = (spec.rounds / spec.islands.max(1)).max(1);
     let mut metadata_curve = Vec::with_capacity(spec.rounds);
+    let mut wire_curve = Vec::with_capacity(spec.rounds);
+    let mut wire_mark = cluster.gossip_stats();
 
     for round in 0..spec.rounds {
         let islands = island_of.clone();
@@ -587,6 +785,9 @@ fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) ->
             }
         }
         metadata_curve.push(cluster.metrics().mean_key_metadata_bits);
+        let wire_now = cluster.gossip_stats();
+        wire_curve.push(bytes_per_exchange(wire_mark, wire_now));
+        wire_mark = wire_now;
     }
 
     // Heal everything and settle serially, exactly like the serial driver.
@@ -604,6 +805,18 @@ fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) ->
             break;
         }
     }
+    let settle_totals = cluster.gossip_stats();
+    let settle_bytes = bytes_per_exchange(wire_mark, settle_totals);
+    for _ in 0..CONVERGED_EPOCH_SWEEPS {
+        for a in 0..spec.replicas {
+            for b in 0..spec.replicas {
+                if a != b {
+                    cluster.anti_entropy(a, b);
+                }
+            }
+        }
+    }
+    let converged_bytes = bytes_per_exchange(settle_totals, cluster.gossip_stats());
     pools.clear();
     let compaction = cluster.compact();
 
@@ -616,6 +829,7 @@ fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) ->
         resurrections += got.difference(&expected).count();
     }
 
+    let wire_totals = cluster.gossip_stats();
     StoreSimReport {
         backend: backend_label,
         sessions: sessions.into_inner(),
@@ -628,6 +842,7 @@ fn run_store_sim_concurrent<B: StoreBackend>(backend: B, spec: &StoreSimSpec) ->
         final_metrics: cluster.metrics(),
         metadata_curve,
         profile: cluster.profile_snapshot(),
+        wire: wire_report(wire_totals, wire_curve, settle_bytes, converged_bytes),
     }
 }
 
@@ -692,6 +907,45 @@ mod tests {
             stamp_final < dynamic_final,
             "stamps {stamp_final:.0} bits vs dynamic-vv {dynamic_final:.0} bits"
         );
+    }
+
+    #[test]
+    fn delta_frames_cut_wire_bytes_and_forced_misses_stay_exact() {
+        let spec = StoreSimSpec::churn(4, 12, 7);
+        for backend in ["stamps-gc", "dynamic-vv"] {
+            let run = |spec: &StoreSimSpec| match backend {
+                "stamps-gc" => run_store_sim(VstampBackend::gc(), spec),
+                _ => run_store_sim(DynamicVvBackend::new(), spec),
+            };
+            let adaptive = run(&spec);
+            let full = run(&spec.with_full_frames_only());
+            let perturbed = run(&spec.with_perturbed_fingerprints());
+            for (mode, report) in
+                [("adaptive", &adaptive), ("full-only", &full), ("perturbed", &perturbed)]
+            {
+                assert!(
+                    report.is_exact(),
+                    "{backend}/{mode}: lost={} false_conc={} resurrect={} converged={}",
+                    report.lost_updates,
+                    report.false_concurrency,
+                    report.resurrections,
+                    report.converged
+                );
+            }
+            assert!(adaptive.wire.delta_frames > 0, "{backend}: adaptive run must ship deltas");
+            assert_eq!(full.wire.delta_frames, 0, "{backend}: baseline must not ship deltas");
+            assert!(
+                adaptive.wire.delta_bytes < full.wire.delta_bytes,
+                "{backend}: adaptive {} bytes vs full-frame {} bytes",
+                adaptive.wire.delta_bytes,
+                full.wire.delta_bytes
+            );
+            assert!(
+                perturbed.wire.nak_refetches > 0,
+                "{backend}: perturbed fingerprints must force NAK refetches"
+            );
+            assert_eq!(spec.rounds, adaptive.wire.bytes_per_exchange_curve.len());
+        }
     }
 
     #[test]

@@ -67,8 +67,7 @@ fn raw_writer_reader_gossip_scope_is_causally_sound() {
     const READERS: usize = 2;
     const WRITES_PER_WRITER: usize = 120;
 
-    let cluster =
-        Cluster::with_config(VstampBackend::gc(), ClusterConfig { replicas: 3, shards: 8 });
+    let cluster = Cluster::with_config(VstampBackend::gc(), ClusterConfig::new(3, 8));
     let keys: Vec<String> = (0..KEYS).map(|k| format!("stress-{k}")).collect();
     // Mini-oracle: per key, id → transitive causal closure.
     let oracle: Vec<Mutex<BTreeMap<u64, BTreeSet<u64>>>> =

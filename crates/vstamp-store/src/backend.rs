@@ -68,13 +68,24 @@ pub trait StoreBackend: Send + Sync + 'static {
 
     /// A local write: advances the replica's element and mints the clock of
     /// the written version from the client's read context plus the
-    /// element's own knowledge.
+    /// element's own knowledge. Returns `(element, clock, dot)` — the
+    /// advanced element, the minted clock, and the write's *dot* as a
+    /// standalone clock, such that
+    /// `clock == rebuild_clock(context, dot)`. The dot is what delta
+    /// frames ship in place of the full clock.
     fn write(
         &self,
         state: &mut Self::KeyState,
         element: &Self::Element,
         context: Option<&Self::Clock>,
-    ) -> (Self::Element, Self::Clock);
+    ) -> (Self::Element, Self::Clock, Self::Clock);
+
+    /// Reconstructs a written version's clock from its dot and the context
+    /// it was minted against — the receive half of a delta frame. Must
+    /// mirror [`StoreBackend::write`]'s clock construction exactly, so that
+    /// a reconstructed clock is value-equal (and, with a canonical codec,
+    /// byte-equal) to the one the writer minted.
+    fn rebuild_clock(&self, context: Option<&Self::Clock>, dot: &Self::Clock) -> Self::Clock;
 
     /// Splits the element for an anti-entropy send: `(kept, shipped)`. The
     /// shipped half rides the delta and is consumed by the receiver's
@@ -516,7 +527,7 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         state: &mut Self::KeyState,
         element: &Self::Element,
         context: Option<&Self::Clock>,
-    ) -> (Self::Element, Self::Clock) {
+    ) -> (Self::Element, Self::Clock, Self::Clock) {
         // Bits-watermark check *before* forking: a deep element would mint
         // an equally deep dot into the version's clock, where deferred
         // depth becomes persistent metadata. Collapsing here is sound —
@@ -549,11 +560,18 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         let marker = element_dot(spent);
         let clock = match context {
             Some(context) => context.join(&marker),
-            None => marker,
+            None => marker.clone(),
         };
         state.unpin_stamp(element);
         state.pin_stamp(&kept);
-        (kept, clock)
+        (kept, clock, marker)
+    }
+
+    fn rebuild_clock(&self, context: Option<&Self::Clock>, dot: &Self::Clock) -> Self::Clock {
+        match context {
+            Some(context) => context.join(dot),
+            None => dot.clone(),
+        }
     }
 
     fn detach(
@@ -816,12 +834,17 @@ impl StoreBackend for DynamicVvBackend {
         state: &mut Self::KeyState,
         element: &Self::Element,
         context: Option<&Self::Clock>,
-    ) -> (Self::Element, Self::Clock) {
+    ) -> (Self::Element, Self::Clock, Self::Clock) {
         let advanced = state.mechanism.update(element);
         let dot = (advanced.incarnation, advanced.vector.get(advanced.incarnation));
         let clock =
             DvvClock { dot: Some(dot), ctx: context.map(DvvClock::effective).unwrap_or_default() };
-        (advanced, clock)
+        let dot_clock = DvvClock { dot: Some(dot), ctx: VersionVector::default() };
+        (advanced, clock, dot_clock)
+    }
+
+    fn rebuild_clock(&self, context: Option<&Self::Clock>, dot: &Self::Clock) -> Self::Clock {
+        DvvClock { dot: dot.dot, ctx: context.map(DvvClock::effective).unwrap_or_default() }
     }
 
     fn detach(
@@ -936,10 +959,10 @@ mod tests {
     fn vstamp_backend_write_chain_dominates_context() {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(3);
-        let (a1, clock_a) = backend.write(&mut state, &elements[0], None);
-        let (_, clock_b) = backend.write(&mut state, &elements[1], Some(&clock_a));
+        let (a1, clock_a, _) = backend.write(&mut state, &elements[0], None);
+        let (_, clock_b, _) = backend.write(&mut state, &elements[1], Some(&clock_a));
         assert_eq!(backend.relation(&clock_b, &clock_a), Relation::Dominates);
-        let (_, clock_c) = backend.write(&mut state, &elements[2], None);
+        let (_, clock_c, _) = backend.write(&mut state, &elements[2], None);
         assert_eq!(backend.relation(&clock_c, &clock_a), Relation::Concurrent);
         assert!(!state.is_degraded());
         let _ = a1;
@@ -995,7 +1018,7 @@ mod tests {
         // Deepen the identity with writes whose versions are then dropped.
         let mut clocks = Vec::new();
         for _ in 0..8 {
-            let (next, clock) = backend.write(&mut state, &element, None);
+            let (next, clock, _) = backend.write(&mut state, &element, None);
             backend.retain_clock(&mut state, &clock);
             clocks.push(clock);
             element = next;
@@ -1017,7 +1040,7 @@ mod tests {
     fn vstamp_compaction_requires_quiescence() {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(2);
-        let (_, clock) = backend.write(&mut state, &elements[0], None);
+        let (_, clock, _) = backend.write(&mut state, &elements[0], None);
         backend.retain_clock(&mut state, &clock);
         // One surviving version cluster-wide: the universe recycles.
         let compacted =
@@ -1027,8 +1050,8 @@ mod tests {
         assert!(fresh_clock.is_epsilon());
         // Concurrent siblings block compaction.
         let (mut state, elements) = backend.new_key(2);
-        let (_, c0) = backend.write(&mut state, &elements[0], None);
-        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        let (_, c0, _) = backend.write(&mut state, &elements[0], None);
+        let (_, c1, _) = backend.write(&mut state, &elements[1], None);
         assert!(backend.compact_quiescent(&mut state, &elements, &[c0, c1]).is_none());
     }
 
@@ -1047,7 +1070,7 @@ mod tests {
     fn both_backends_roundtrip_wire_encodings() {
         let vs = VstampBackend::gc();
         let (mut state, elements) = vs.new_key(3);
-        let (element, clock) = vs.write(&mut state, &elements[2], None);
+        let (element, clock, _) = vs.write(&mut state, &elements[2], None);
         let mut bytes = Vec::new();
         vs.encode_clock(&clock, &mut bytes);
         assert_eq!(vs.decode_clock(&bytes).unwrap(), clock);
@@ -1059,7 +1082,7 @@ mod tests {
 
         let dv = DynamicVvBackend::new();
         let (mut state, elements) = dv.new_key(3);
-        let (element, clock) = dv.write(&mut state, &elements[1], None);
+        let (element, clock, _) = dv.write(&mut state, &elements[1], None);
         bytes.clear();
         dv.encode_clock(&clock, &mut bytes);
         assert_eq!(dv.decode_clock(&bytes).unwrap(), clock);

@@ -30,11 +30,13 @@ use parking_lot::Mutex;
 use crate::backend::StoreBackend;
 use crate::profile::{ProfileSnapshot, StoreProfile};
 use crate::store::{
-    DataPlane, GetResult, Key, KeyData, ShardIndexer, StoredVersion, Value, Version,
+    fnv1a, fnv1a_extend, DataPlane, DeltaOrigin, GetResult, Key, KeyData, ShardIndexer,
+    StoredVersion, Value, Version,
 };
 use crate::wire::{
-    decode_delta, decode_digest, encode_delta, encode_digest, DigestEntry, Envelope, KeyDelta,
-    MessageKind,
+    decode_delta, decode_digest, decode_nak, decode_probe, encode_delta, encode_digest, encode_nak,
+    encode_probe, envelope_len, rebuild_wire_version, DeltaEncodeStats, DeltaPolicy, DigestEntry,
+    Envelope, KeyDelta, MessageKind, WireKeyDelta, WireVersion, PERTURB_MASK,
 };
 
 /// Per-key entry of the clock plane: the backend's coordination state plus
@@ -46,16 +48,124 @@ struct KeyPlane<B: StoreBackend> {
 }
 
 /// Volume and coverage counters of one anti-entropy exchange.
+///
+/// Byte counts are end-to-end: payload plus the serialized envelope
+/// header ([`envelope_len`]), so the `wire` benchmark curves reflect what
+/// a real transport would carry, not just encoded bodies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExchangeStats {
     /// Keys listed in the requester's digest.
     pub digest_keys: usize,
     /// Keys the responder shipped (fingerprint mismatch or missing).
     pub keys_shipped: usize,
-    /// Bytes of the digest message.
+    /// Bytes of the digest message, envelope included.
     pub digest_bytes: usize,
-    /// Bytes of the delta message.
+    /// Bytes of the delta direction, envelope included: the delta
+    /// response plus any NAK and full-frame refetch round.
     pub delta_bytes: usize,
+    /// Versions shipped as delta frames (dot + context fingerprint).
+    pub delta_frames: usize,
+    /// Versions shipped as full clock frames (refetches included).
+    pub full_frames: usize,
+    /// Keys whose delta frames missed the receiver's context fingerprint
+    /// and were refetched as full frames.
+    pub nak_refetches: usize,
+    /// Bytes the delta frames saved versus full clock frames.
+    pub wire_bytes_saved: usize,
+    /// Total bytes of the clock frames shipped (full and delta) —
+    /// `frame_bytes / (delta_frames + full_frames)` is the mean clock
+    /// bytes per replicated version.
+    pub frame_bytes: usize,
+    /// The delta frames' share of `frame_bytes`.
+    pub delta_frame_bytes: usize,
+    /// Versions the responder did not ship because the requester's digest
+    /// proved it already held them.
+    pub versions_skipped: usize,
+    /// Whether this exchange opened with an O(1) digest-root probe.
+    pub root_probes: usize,
+    /// Whether that probe hit — the peers were already converged and the
+    /// whole digest/delta flow was skipped.
+    pub root_matches: usize,
+}
+
+/// Cumulative wire counters of a whole cluster: every synchronous
+/// exchange and every gossip message since construction (or the last
+/// snapshot diff the caller keeps). Counted once, at the sending side,
+/// envelope included.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipStats {
+    /// Pull exchanges initiated (digests sent).
+    pub exchanges: usize,
+    /// Digest bytes sent, envelopes included.
+    pub digest_bytes: usize,
+    /// Delta-direction bytes sent (deltas, NAKs, refetches), envelopes
+    /// included.
+    pub delta_bytes: usize,
+    /// Versions shipped as delta frames.
+    pub delta_frames: usize,
+    /// Versions shipped as full clock frames.
+    pub full_frames: usize,
+    /// Keys refetched after a fingerprint miss.
+    pub nak_refetches: usize,
+    /// Bytes saved by delta frames versus their full clock frames.
+    pub wire_bytes_saved: usize,
+    /// Total bytes of the clock frames shipped (full and delta).
+    pub frame_bytes: usize,
+    /// The delta frames' share of `frame_bytes`.
+    pub delta_frame_bytes: usize,
+    /// Versions never shipped because the requester's digest proved it
+    /// already held them.
+    pub versions_skipped: usize,
+    /// Exchanges opened with an O(1) digest-root probe.
+    pub root_probes: usize,
+    /// Probes that hit: converged peers that exchanged nothing further.
+    pub root_matches: usize,
+}
+
+/// Atomic backing store of [`GossipStats`], shared by the synchronous
+/// exchange path and the gossip workers.
+#[derive(Debug, Default)]
+struct WireCounters {
+    exchanges: AtomicUsize,
+    digest_bytes: AtomicUsize,
+    delta_bytes: AtomicUsize,
+    delta_frames: AtomicUsize,
+    full_frames: AtomicUsize,
+    nak_refetches: AtomicUsize,
+    wire_bytes_saved: AtomicUsize,
+    frame_bytes: AtomicUsize,
+    delta_frame_bytes: AtomicUsize,
+    versions_skipped: AtomicUsize,
+    root_probes: AtomicUsize,
+    root_matches: AtomicUsize,
+}
+
+impl WireCounters {
+    fn snapshot(&self) -> GossipStats {
+        GossipStats {
+            exchanges: self.exchanges.load(Ordering::Relaxed),
+            digest_bytes: self.digest_bytes.load(Ordering::Relaxed),
+            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
+            delta_frames: self.delta_frames.load(Ordering::Relaxed),
+            full_frames: self.full_frames.load(Ordering::Relaxed),
+            nak_refetches: self.nak_refetches.load(Ordering::Relaxed),
+            wire_bytes_saved: self.wire_bytes_saved.load(Ordering::Relaxed),
+            frame_bytes: self.frame_bytes.load(Ordering::Relaxed),
+            delta_frame_bytes: self.delta_frame_bytes.load(Ordering::Relaxed),
+            versions_skipped: self.versions_skipped.load(Ordering::Relaxed),
+            root_probes: self.root_probes.load(Ordering::Relaxed),
+            root_matches: self.root_matches.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_delta_payload(&self, bytes: usize, stats: DeltaEncodeStats) {
+        self.delta_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.delta_frames.fetch_add(stats.delta_frames, Ordering::Relaxed);
+        self.full_frames.fetch_add(stats.full_frames, Ordering::Relaxed);
+        self.wire_bytes_saved.fetch_add(stats.bytes_saved, Ordering::Relaxed);
+        self.frame_bytes.fetch_add(stats.frame_bytes, Ordering::Relaxed);
+        self.delta_frame_bytes.fetch_add(stats.delta_frame_bytes, Ordering::Relaxed);
+    }
 }
 
 /// Space metrics of the whole cluster — the per-key metadata curves of
@@ -108,19 +218,50 @@ pub struct ClusterConfig {
     /// Number of hash-partitioned shards per replica, also the stripe
     /// count of the cluster-shared clock plane (at least 1).
     pub shards: usize,
+    /// Ship versions as delta frames (dot + context fingerprint) when the
+    /// receiver's digest proves the context is shared. Default on; off
+    /// reproduces the full-frame wire format (the benchmark baseline).
+    pub delta_frames: bool,
+    /// Deliberately perturb emitted delta-frame fingerprints so every
+    /// delta frame misses and takes the NAK/refetch fallback — a
+    /// correctness-stress knob, never on by default.
+    pub perturb_fingerprints: bool,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { replicas: 3, shards: 16 }
+        ClusterConfig::new(3, 16)
     }
 }
 
 impl ClusterConfig {
-    /// A config with explicit replica and shard counts.
+    /// A config with explicit replica and shard counts (delta frames on,
+    /// fingerprints honest).
     #[must_use]
     pub fn new(replicas: usize, shards: usize) -> Self {
-        ClusterConfig { replicas, shards }
+        ClusterConfig { replicas, shards, delta_frames: true, perturb_fingerprints: false }
+    }
+
+    /// Disables delta frames: every version ships its full clock frame.
+    #[must_use]
+    pub fn without_delta_frames(mut self) -> Self {
+        self.delta_frames = false;
+        self
+    }
+
+    /// Perturbs every emitted delta-frame fingerprint (forces the
+    /// miss→NAK fallback path).
+    #[must_use]
+    pub fn with_perturbed_fingerprints(mut self) -> Self {
+        self.perturb_fingerprints = true;
+        self
+    }
+
+    fn policy(&self) -> DeltaPolicy {
+        DeltaPolicy {
+            delta_frames: self.delta_frames,
+            perturb_fingerprints: self.perturb_fingerprints,
+        }
     }
 }
 
@@ -133,6 +274,36 @@ pub struct Cluster<B: StoreBackend> {
     plane: Vec<Mutex<HashMap<Key, KeyPlane<B>>>>,
     shards: ShardIndexer,
     profile: Arc<StoreProfile>,
+    policy: DeltaPolicy,
+    wire: WireCounters,
+}
+
+/// Infers which of the responder's sibling versions the requester already
+/// holds, given nothing but the requester's set hash: that hash is the
+/// wrapping sum of its versions' content hashes, so whenever the
+/// requester's set is a subset of the responder's — the common case, since
+/// anti-entropy pulls make sets grow toward each other — exactly one
+/// subset of the responder's hashes sums to it (up to 64-bit collisions,
+/// the trust model the whole-key fingerprint skip already accepts).
+/// Sibling sets are small, so the `2^n` scan is trivial; oversized sets
+/// and the empty-set hash (`0`) skip dedup and ship everything. Returns
+/// the matched subset as a bitmask over `hashes`, preferring the largest.
+fn known_subset(hashes: &[u64], ctx_fp: u64) -> u32 {
+    if ctx_fp == 0 || hashes.is_empty() || hashes.len() > 16 {
+        return 0;
+    }
+    let mut best = 0u32;
+    for mask in 1u32..(1u32 << hashes.len()) {
+        let sum = hashes
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| mask & (1 << index) != 0)
+            .fold(0u64, |acc, (_, hash)| acc.wrapping_add(*hash));
+        if sum == ctx_fp && mask.count_ones() > best.count_ones() {
+            best = mask;
+        }
+    }
+    best
 }
 
 impl<B: StoreBackend> Cluster<B> {
@@ -154,7 +325,16 @@ impl<B: StoreBackend> Cluster<B> {
             plane: (0..shards.count()).map(|_| Mutex::new(HashMap::new())).collect(),
             shards,
             profile: Arc::new(StoreProfile::default()),
+            policy: config.policy(),
+            wire: WireCounters::default(),
         }
+    }
+
+    /// Cumulative wire counters since construction — snapshot and diff to
+    /// get per-epoch bytes-on-wire curves.
+    #[must_use]
+    pub fn gossip_stats(&self) -> GossipStats {
+        self.wire.snapshot()
     }
 
     /// Switches on wall-clock attribution (GC / join / relation / codec /
@@ -276,17 +456,31 @@ impl<B: StoreBackend> Cluster<B> {
             shard.insert(key.to_owned(), KeyData::new(&self.backend, element));
         }
         let data = shard.get_mut(key).expect("inserted above");
-        let (advanced, clock) = {
+        let (advanced, clock, dot) = {
             let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
             self.backend.write(&mut entry.state, data.element(), context)
         };
         data.set_element(&self.backend, advanced);
-        let incoming = StoredVersion::new(&self.backend, Version { clock: clock.clone(), value });
-        let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
         // Memoized-order fast path: a context that equals the sibling
         // set's cached context supersedes every sibling without a single
         // relation check (the fresh dot makes each domination strict).
-        let (stored, evicted) = if data.siblings.matches_context(context) {
+        // Exactly these writes are delta-eligible: the mint-time context
+        // is the set itself, whose identity the O(1)-maintained sibling
+        // hash pins — record `(dot, hash)` as the version's origin so
+        // anti-entropy can ship it as dot + fingerprint.
+        let matched = data.siblings.matches_context(context);
+        let origin = (matched && self.policy.delta_frames).then(|| {
+            let mut dot_bytes = Vec::new();
+            self.backend.encode_clock(&dot, &mut dot_bytes);
+            DeltaOrigin { dot_bytes: dot_bytes.into(), ctx_fp: data.siblings.versions_hash() }
+        });
+        let incoming = StoredVersion::new_with_origin(
+            &self.backend,
+            Version { clock: clock.clone(), value },
+            origin,
+        );
+        let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
+        let (stored, evicted) = if matched {
             (true, data.siblings.replace_all(&self.backend, incoming))
         } else {
             let outcome = data.siblings.merge_version(&self.backend, incoming, true);
@@ -309,11 +503,41 @@ impl<B: StoreBackend> Cluster<B> {
         for shard_index in 0..self.shards.count() {
             let shard = self.replicas[replica].shard(shard_index).read();
             for (key, data) in shard.iter() {
-                entries.push(DigestEntry { key: key.clone(), fingerprint: data.fingerprint() });
+                entries.push(DigestEntry {
+                    key: key.clone(),
+                    fingerprint: data.fingerprint(),
+                    ctx_fp: data.siblings.versions_hash(),
+                });
             }
         }
         entries.sort_by(|a, b| a.key.cmp(&b.key));
         entries
+    }
+
+    /// An O(1)-sized root fingerprint of one replica's whole digest: FNV
+    /// over the sorted `(key, fingerprint)` lines. Equal roots mean equal
+    /// digests mean nothing to exchange — the adaptive wire opens every
+    /// exchange with this 8-byte probe and skips the digest/delta flow
+    /// entirely on a hit. Correctness never depends on it: a miss (or a
+    /// 64-bit collision, the same trust model as the per-key fingerprint
+    /// skip) just falls back to the full digest round.
+    #[must_use]
+    pub fn digest_root(&self, replica: usize) -> u64 {
+        let mut lines: Vec<(Key, u64)> = Vec::new();
+        for shard_index in 0..self.shards.count() {
+            let shard = self.replicas[replica].shard(shard_index).read();
+            for (key, data) in shard.iter() {
+                lines.push((key.clone(), data.fingerprint()));
+            }
+        }
+        lines.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut root = fnv1a(b"digest-root");
+        for (key, fingerprint) in &lines {
+            root = fnv1a_extend(root, &(key.len() as u64).to_le_bytes());
+            root = fnv1a_extend(root, key.as_bytes());
+            root = fnv1a_extend(root, &fingerprint.to_le_bytes());
+        }
+        root
     }
 
     /// Builds the responder's delta for a requester digest: every key the
@@ -321,52 +545,112 @@ impl<B: StoreBackend> Cluster<B> {
     /// lacks) is shipped — forked element plus the shared sibling set
     /// (`Arc` bumps, no value copies).
     #[must_use]
-    pub fn respond_delta(&self, responder: usize, digest: &[DigestEntry]) -> Vec<KeyDelta<B>> {
+    pub fn respond_delta(
+        &self,
+        responder: usize,
+        digest: &[DigestEntry],
+    ) -> (Vec<KeyDelta<B>>, usize) {
         let requested: HashMap<&str, u64> =
             digest.iter().map(|entry| (entry.key.as_str(), entry.fingerprint)).collect();
+        let assumed: HashMap<&str, u64> =
+            digest.iter().map(|entry| (entry.key.as_str(), entry.ctx_fp)).collect();
         let mut deltas = Vec::new();
+        let mut skipped = 0usize;
         for shard_index in 0..self.shards.count() {
-            let keys: Vec<Key> = {
+            let keys: Vec<(Key, u64)> = {
                 let shard = self.replicas[responder].shard(shard_index).read();
                 shard
                     .iter()
-                    .filter(|(key, data)| requested.get(key.as_str()) != Some(&data.fingerprint()))
-                    .map(|(key, _)| key.clone())
+                    .filter_map(|(key, data)| match requested.get(key.as_str()) {
+                        Some(fingerprint) if *fingerprint == data.fingerprint() => None,
+                        Some(_) => Some((key.clone(), assumed[key.as_str()])),
+                        // The requester lacks the key: its sibling set is
+                        // empty, whose hash is 0.
+                        None => Some((key.clone(), 0)),
+                    })
                     .collect()
             };
-            for key in keys {
-                let (mut plane, mut shard) = {
-                    let _timer =
-                        self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
-                    (
-                        self.plane[shard_index].lock(),
-                        self.replicas[responder].shard(shard_index).write(),
-                    )
-                };
-                let Some(entry) = plane.get_mut(&key) else { continue };
-                let Some(data) = shard.get_mut(&key) else { continue };
-                let (kept, shipped) = {
-                    let _timer =
-                        self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
-                    self.backend.detach(&mut entry.state, data.element())
-                };
-                data.set_element(&self.backend, kept);
-                deltas.push(KeyDelta {
-                    key: key.clone(),
-                    element: shipped,
-                    versions: data.siblings.iter().cloned().collect(),
-                });
+            for (key, assumed_fp) in keys {
+                if let Some((delta, skips)) =
+                    self.ship_key(responder, shard_index, &key, assumed_fp)
+                {
+                    skipped += skips;
+                    deltas.push(delta);
+                }
             }
         }
+        deltas.sort_by(|a, b| a.key.cmp(&b.key));
+        (deltas, skipped)
+    }
+
+    /// Forks the responder's element for `key` and ships its sibling set
+    /// (`Arc` bumps, no value copies), minus any version the requester
+    /// provably already holds — reshipping those would be pure redundancy.
+    /// Which versions those are is inferred from `assumed_fp` alone (see
+    /// [`known_subset`]), so dedup costs zero extra digest bytes. Returns
+    /// the delta plus the number of versions skipped that way. The element
+    /// always ships (fingerprint mismatches can be element-only), and the
+    /// full-frame baseline ships whole sibling sets — the PR 5 wire.
+    fn ship_key(
+        &self,
+        responder: usize,
+        shard_index: usize,
+        key: &Key,
+        assumed_fp: u64,
+    ) -> Option<(KeyDelta<B>, usize)> {
+        let (mut plane, mut shard) = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+            (self.plane[shard_index].lock(), self.replicas[responder].shard(shard_index).write())
+        };
+        let entry = plane.get_mut(key)?;
+        let data = shard.get_mut(key)?;
+        let (kept, shipped) = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+            self.backend.detach(&mut entry.state, data.element())
+        };
+        data.set_element(&self.backend, kept);
+        let known = if self.policy.delta_frames {
+            let hashes: Vec<u64> = data.siblings.iter().map(StoredVersion::content_hash).collect();
+            known_subset(&hashes, assumed_fp)
+        } else {
+            0
+        };
+        let versions: Vec<_> = data
+            .siblings
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| known & (1 << index) == 0)
+            .map(|(_, version)| version.clone())
+            .collect();
+        let skipped = known.count_ones() as usize;
+        Some((KeyDelta { key: key.clone(), element: shipped, versions, assumed_fp }, skipped))
+    }
+
+    /// Builds the full-frames refetch for a NAK: the responder re-ships
+    /// exactly the missed keys (`assumed_fp` of 0 is irrelevant — the
+    /// refetch is encoded with [`DeltaPolicy::FULL_ONLY`]).
+    #[must_use]
+    pub fn respond_nak(&self, responder: usize, keys: &[Key]) -> Vec<KeyDelta<B>> {
+        let mut deltas: Vec<KeyDelta<B>> = keys
+            .iter()
+            .filter_map(|key| {
+                self.ship_key(responder, self.shards.index(key), key, 0).map(|(delta, _)| delta)
+            })
+            .collect();
         deltas.sort_by(|a, b| a.key.cmp(&b.key));
         deltas
     }
 
     /// Applies a delta at the requester: element `join` (with the
-    /// backend's merge-time GC) plus sibling merges.
-    pub fn apply_delta(&self, requester: usize, deltas: Vec<KeyDelta<B>>) {
+    /// backend's merge-time GC) plus sibling merges. Delta-frame versions
+    /// whose context fingerprint matches the local sibling set are
+    /// reconstructed as `context ⊔ dot`; the rest are **missed** — the
+    /// returned keys need a NAK/full-frame refetch round.
+    pub fn apply_delta(&self, requester: usize, deltas: Vec<WireKeyDelta<B>>) -> Vec<Key> {
+        let mut misses = Vec::new();
         for delta in deltas {
-            let shard_index = self.shards.index(&delta.key);
+            let WireKeyDelta { key, element, versions } = delta;
+            let shard_index = self.shards.index(&key);
             let (mut plane, mut shard) = {
                 let _timer =
                     self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
@@ -375,25 +659,54 @@ impl<B: StoreBackend> Cluster<B> {
                     self.replicas[requester].shard(shard_index).write(),
                 )
             };
-            let Some(entry) = plane.get_mut(&delta.key) else { continue };
-            if !shard.contains_key(&delta.key) {
-                let element = entry.unclaimed[requester]
+            let Some(entry) = plane.get_mut(&key) else { continue };
+            if !shard.contains_key(&key) {
+                let claimed = entry.unclaimed[requester]
                     .take()
                     .expect("initial element claimed exactly once");
-                shard.insert(delta.key.clone(), KeyData::new(&self.backend, element));
+                shard.insert(key.clone(), KeyData::new(&self.backend, claimed));
             }
-            let data = shard.get_mut(&delta.key).expect("inserted above");
+            let data = shard.get_mut(&key).expect("inserted above");
             let absorbed = {
                 let _timer =
                     self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
-                self.backend.absorb(&mut entry.state, data.element(), &delta.element)
+                self.backend.absorb(&mut entry.state, data.element(), &element)
             };
             data.set_element(&self.backend, absorbed);
             let _timer =
                 self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
-            for version in delta.versions {
-                let clock = version.clock().clone();
-                let outcome = data.siblings.merge_version(&self.backend, version, false);
+            // Every delta frame of this batch was minted against one
+            // sibling-set state, so the base context and its hash are
+            // captured once, *before* any merge of the batch mutates the
+            // set — merges of earlier versions must not invalidate the
+            // reconstruction base of later ones.
+            let base_fp = data.siblings.versions_hash();
+            let base_ctx = versions
+                .iter()
+                .any(|version| matches!(version, WireVersion::Delta { .. }))
+                .then(|| data.siblings.context().cloned())
+                .flatten();
+            let mut key_missed = false;
+            for version in versions {
+                let incoming = match version {
+                    WireVersion::Full(stored) => stored,
+                    WireVersion::Delta { dot, dot_bytes, ctx_fp, value } => {
+                        if ctx_fp != base_fp {
+                            key_missed = true;
+                            continue;
+                        }
+                        rebuild_wire_version(
+                            &self.backend,
+                            base_ctx.as_ref(),
+                            &dot,
+                            dot_bytes,
+                            ctx_fp,
+                            value,
+                        )
+                    }
+                };
+                let clock = incoming.clock().clone();
+                let outcome = data.siblings.merge_version(&self.backend, incoming, false);
                 if outcome.stored {
                     self.backend.retain_clock(&mut entry.state, &clock);
                 }
@@ -401,37 +714,107 @@ impl<B: StoreBackend> Cluster<B> {
                     self.backend.release_clock(&mut entry.state, evicted.clock());
                 }
             }
+            if key_missed {
+                misses.push(key);
+            }
         }
+        misses
     }
 
     /// One pull-based anti-entropy exchange: `requester` sends its digest,
-    /// `responder` answers with missing-key frames, `requester` absorbs
-    /// them. Both messages round-trip through the wire codec, exactly as
-    /// they do in gossip mode.
+    /// `responder` answers with adaptively-framed deltas, `requester`
+    /// absorbs them, and any fingerprint misses are refetched as full
+    /// frames in an inline NAK round. All messages round-trip through the
+    /// wire codec, exactly as they do in gossip mode; byte counts include
+    /// the serialized envelope headers.
     pub fn anti_entropy(&self, requester: usize, responder: usize) -> ExchangeStats {
+        // The adaptive wire opens with an 8-byte digest-root probe; a hit
+        // means the peers are already converged and the exchange is two
+        // tiny messages instead of a digest and a delta. The perturb knob
+        // forces misses so benches and tests exercise the fallback.
+        let mut probe_bytes = 0;
+        let mut probes = 0;
+        if self.policy.delta_frames {
+            let mut root = self.digest_root(requester);
+            if self.policy.perturb_fingerprints {
+                root ^= PERTURB_MASK;
+            }
+            let probe_payload = encode_probe(root);
+            let probed = decode_probe(&probe_payload).expect("locally-encoded probe decodes");
+            probe_bytes = envelope_len(requester, probe_payload.len()) + envelope_len(responder, 0);
+            probes = 1;
+            self.wire.root_probes.fetch_add(1, Ordering::Relaxed);
+            if probed == self.digest_root(responder) {
+                self.wire.exchanges.fetch_add(1, Ordering::Relaxed);
+                self.wire.digest_bytes.fetch_add(probe_bytes, Ordering::Relaxed);
+                self.wire.root_matches.fetch_add(1, Ordering::Relaxed);
+                return ExchangeStats {
+                    digest_bytes: probe_bytes,
+                    root_probes: 1,
+                    root_matches: 1,
+                    ..ExchangeStats::default()
+                };
+            }
+        }
         let digest = self.build_digest(requester);
         let enabled = self.profile.is_enabled();
-        let (digest_bytes, decoded_digest) = {
+        let (digest_payload, decoded_digest) = {
             let _timer = enabled.then(|| self.profile.time(&self.profile.codec));
             let bytes = encode_digest(&digest);
             let decoded = decode_digest(&bytes).expect("locally-encoded digest decodes");
             (bytes, decoded)
         };
-        let deltas = self.respond_delta(responder, &decoded_digest);
-        let (delta_bytes, decoded_deltas) = {
+        let (deltas, versions_skipped) = self.respond_delta(responder, &decoded_digest);
+        let (delta_payload, encode_stats, decoded_deltas) = {
             let _timer = enabled.then(|| self.profile.time(&self.profile.codec));
-            let bytes = encode_delta(&self.backend, &deltas);
+            let (bytes, encode_stats) = encode_delta(&self.backend, &deltas, self.policy);
             let decoded =
                 decode_delta(&self.backend, &bytes).expect("locally-encoded delta decodes");
-            (bytes, decoded)
+            (bytes, encode_stats, decoded)
         };
-        let stats = ExchangeStats {
+        let mut stats = ExchangeStats {
             digest_keys: digest.len(),
             keys_shipped: decoded_deltas.len(),
-            digest_bytes: digest_bytes.len(),
-            delta_bytes: delta_bytes.len(),
+            digest_bytes: probe_bytes + envelope_len(requester, digest_payload.len()),
+            delta_bytes: envelope_len(responder, delta_payload.len()),
+            delta_frames: encode_stats.delta_frames,
+            full_frames: encode_stats.full_frames,
+            nak_refetches: 0,
+            wire_bytes_saved: encode_stats.bytes_saved,
+            frame_bytes: encode_stats.frame_bytes,
+            delta_frame_bytes: encode_stats.delta_frame_bytes,
+            versions_skipped,
+            root_probes: probes,
+            root_matches: 0,
         };
-        self.apply_delta(requester, decoded_deltas);
+        let misses = self.apply_delta(requester, decoded_deltas);
+        if !misses.is_empty() {
+            // Fingerprint misses: NAK the keys and refetch them as full
+            // frames, which cannot miss — one bounded extra round.
+            let nak_payload = encode_nak(&misses);
+            let refetch = self.respond_nak(responder, &misses);
+            let (refetch_payload, refetch_stats) =
+                encode_delta(&self.backend, &refetch, DeltaPolicy::FULL_ONLY);
+            let decoded = decode_delta(&self.backend, &refetch_payload)
+                .expect("locally-encoded refetch decodes");
+            let leftover = self.apply_delta(requester, decoded);
+            debug_assert!(leftover.is_empty(), "full frames cannot miss");
+            stats.nak_refetches = misses.len();
+            stats.delta_bytes += envelope_len(requester, nak_payload.len())
+                + envelope_len(responder, refetch_payload.len());
+            stats.full_frames += refetch_stats.full_frames;
+            stats.frame_bytes += refetch_stats.frame_bytes;
+        }
+        self.wire.exchanges.fetch_add(1, Ordering::Relaxed);
+        self.wire.digest_bytes.fetch_add(stats.digest_bytes, Ordering::Relaxed);
+        self.wire.delta_bytes.fetch_add(stats.delta_bytes, Ordering::Relaxed);
+        self.wire.delta_frames.fetch_add(stats.delta_frames, Ordering::Relaxed);
+        self.wire.full_frames.fetch_add(stats.full_frames, Ordering::Relaxed);
+        self.wire.nak_refetches.fetch_add(stats.nak_refetches, Ordering::Relaxed);
+        self.wire.wire_bytes_saved.fetch_add(stats.wire_bytes_saved, Ordering::Relaxed);
+        self.wire.frame_bytes.fetch_add(stats.frame_bytes, Ordering::Relaxed);
+        self.wire.delta_frame_bytes.fetch_add(stats.delta_frame_bytes, Ordering::Relaxed);
+        self.wire.versions_skipped.fetch_add(stats.versions_skipped, Ordering::Relaxed);
         stats
     }
 
@@ -472,10 +855,43 @@ impl<B: StoreBackend> Cluster<B> {
         n: usize,
     ) {
         let serve = |envelope: Envelope| match envelope.kind {
+            MessageKind::Probe => {
+                let root = decode_probe(&envelope.payload).expect("peer probes decode");
+                let matched = root == self.digest_root(index);
+                let kind = if matched {
+                    self.wire.root_matches.fetch_add(1, Ordering::Relaxed);
+                    MessageKind::Ack
+                } else {
+                    MessageKind::Miss
+                };
+                self.wire.digest_bytes.fetch_add(envelope_len(index, 0), Ordering::Relaxed);
+                let _ = senders[envelope.from].send(Envelope {
+                    from: index,
+                    kind,
+                    payload: Vec::new(),
+                });
+            }
+            // A hit needs nothing further; a late miss (after this worker
+            // timed out of its wait) is answered with a fresh digest — the
+            // peer serves it like any other and the pull completes.
+            MessageKind::Ack => {}
+            MessageKind::Miss => {
+                let digest = encode_digest(&self.build_digest(index));
+                self.wire
+                    .digest_bytes
+                    .fetch_add(envelope_len(index, digest.len()), Ordering::Relaxed);
+                let _ = senders[envelope.from].send(Envelope {
+                    from: index,
+                    kind: MessageKind::Digest,
+                    payload: digest,
+                });
+            }
             MessageKind::Digest => {
                 let digest = decode_digest(&envelope.payload).expect("peer digests decode");
-                let deltas = self.respond_delta(index, &digest);
-                let payload = encode_delta(&self.backend, &deltas);
+                let (deltas, versions_skipped) = self.respond_delta(index, &digest);
+                let (payload, encode_stats) = encode_delta(&self.backend, &deltas, self.policy);
+                self.wire.record_delta_payload(envelope_len(index, payload.len()), encode_stats);
+                self.wire.versions_skipped.fetch_add(versions_skipped, Ordering::Relaxed);
                 // A send only fails when the peer already exited its drain
                 // loop; the forked element then stays pinned (conservative
                 // evidence, never unsound).
@@ -488,23 +904,72 @@ impl<B: StoreBackend> Cluster<B> {
             MessageKind::Delta => {
                 let deltas =
                     decode_delta(&self.backend, &envelope.payload).expect("peer deltas decode");
-                self.apply_delta(index, deltas);
+                let misses = self.apply_delta(index, deltas);
+                if !misses.is_empty() {
+                    let payload = encode_nak(&misses);
+                    self.wire
+                        .delta_bytes
+                        .fetch_add(envelope_len(index, payload.len()), Ordering::Relaxed);
+                    self.wire.nak_refetches.fetch_add(misses.len(), Ordering::Relaxed);
+                    let _ = senders[envelope.from].send(Envelope {
+                        from: index,
+                        kind: MessageKind::Nak,
+                        payload,
+                    });
+                }
+            }
+            MessageKind::Nak => {
+                let keys = decode_nak(&envelope.payload).expect("peer NAKs decode");
+                let refetch = self.respond_nak(index, &keys);
+                let (payload, encode_stats) =
+                    encode_delta(&self.backend, &refetch, DeltaPolicy::FULL_ONLY);
+                self.wire.record_delta_payload(envelope_len(index, payload.len()), encode_stats);
+                let _ = senders[envelope.from].send(Envelope {
+                    from: index,
+                    kind: MessageKind::Delta,
+                    payload,
+                });
             }
         };
         for round in 0..rounds {
             let peer = (index + 1 + round % (n - 1)) % n;
-            let digest = encode_digest(&self.build_digest(index));
-            if senders[peer]
-                .send(Envelope { from: index, kind: MessageKind::Digest, payload: digest })
-                .is_err()
-            {
+            self.wire.exchanges.fetch_add(1, Ordering::Relaxed);
+            let opening = if self.policy.delta_frames {
+                let mut root = self.digest_root(index);
+                if self.policy.perturb_fingerprints {
+                    root ^= PERTURB_MASK;
+                }
+                self.wire.root_probes.fetch_add(1, Ordering::Relaxed);
+                Envelope { from: index, kind: MessageKind::Probe, payload: encode_probe(root) }
+            } else {
+                let digest = encode_digest(&self.build_digest(index));
+                Envelope { from: index, kind: MessageKind::Digest, payload: digest }
+            };
+            self.wire
+                .digest_bytes
+                .fetch_add(envelope_len(index, opening.payload.len()), Ordering::Relaxed);
+            if senders[peer].send(opening).is_err() {
                 break;
             }
-            // Wait for our delta, serving whatever else arrives meanwhile.
+            // Wait for this pull to finish — an Ack (converged, nothing to
+            // exchange) or our delta — serving whatever else arrives
+            // meanwhile. A Miss is ours to answer with the full digest.
             while let Ok(envelope) = receiver.recv_timeout(Duration::from_millis(200)) {
-                let was_delta = envelope.kind == MessageKind::Delta;
-                serve(envelope);
-                if was_delta {
+                let done = matches!(envelope.kind, MessageKind::Delta | MessageKind::Ack);
+                if envelope.kind == MessageKind::Miss {
+                    let digest = encode_digest(&self.build_digest(index));
+                    self.wire
+                        .digest_bytes
+                        .fetch_add(envelope_len(index, digest.len()), Ordering::Relaxed);
+                    let _ = senders[envelope.from].send(Envelope {
+                        from: index,
+                        kind: MessageKind::Digest,
+                        payload: digest,
+                    });
+                } else {
+                    serve(envelope);
+                }
+                if done {
                     break;
                 }
             }
@@ -914,6 +1379,87 @@ mod tests {
         full_sweep(&cluster);
         assert_eq!(cluster.get(0, "k").values(), vec![b"resolved".to_vec()]);
         assert_eq!(cluster.metrics().label, "dynamic-vv");
+    }
+
+    #[test]
+    fn shard_indexer_modulo_dispatch_is_uniform_and_roundtrips() {
+        // Non-power-of-two counts take ShardIndexer's modulo path; FNV
+        // dispatch must still spread keys evenly and serve traffic.
+        for shards in [3usize, 7] {
+            let indexer = ShardIndexer::new(shards);
+            let keys = 3000usize;
+            let mut counts = vec![0usize; shards];
+            for i in 0..keys {
+                counts[indexer.index(&format!("key-{i}"))] += 1;
+            }
+            let expected = keys / shards;
+            for (shard, &count) in counts.iter().enumerate() {
+                assert!(
+                    count > expected / 2 && count < expected * 2,
+                    "shards={shards}: shard {shard} got {count} of {keys} (expected ≈{expected})"
+                );
+            }
+            let cluster = Cluster::new(VstampBackend::gc(), 2, shards);
+            assert_eq!(cluster.shard_count(), shards);
+            for i in 0..40usize {
+                cluster.put(i % 2, &format!("key-{i}"), vec![i as u8], None);
+            }
+            for _ in 0..2 {
+                cluster.anti_entropy(0, 1);
+                cluster.anti_entropy(1, 0);
+            }
+            assert!(cluster.converged());
+            for i in 0..40usize {
+                assert_eq!(cluster.get(0, &format!("key-{i}")).values(), vec![vec![i as u8]]);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_frames_flow_and_perturbed_fingerprints_fall_back() {
+        // One replica writes, the other pulls after every write, so the
+        // receiver is always exactly one version behind the writer — the
+        // delta-frame sweet spot. The dynamic-vv clock grows a vector
+        // entry per write, so full frames quickly outgrow dot +
+        // fingerprint and the adaptive encoder switches over.
+        let run = |config: ClusterConfig| {
+            let cluster = Cluster::with_config(DynamicVvBackend::new(), config);
+            cluster.put(0, "hot", b"seed".to_vec(), None);
+            cluster.anti_entropy(1, 0);
+            for round in 0..12u8 {
+                let read = cluster.get(0, "hot");
+                cluster.put(0, "hot", vec![round], read.context());
+                cluster.anti_entropy(1, 0);
+            }
+            full_sweep(&cluster);
+            assert!(cluster.converged(), "workload must converge");
+            assert_eq!(
+                cluster.get(1, "hot").values(),
+                vec![vec![11u8]],
+                "the last write must win everywhere"
+            );
+            cluster.gossip_stats()
+        };
+        let adaptive = run(ClusterConfig::new(2, 4));
+        assert!(adaptive.delta_frames > 0, "one-behind pulls must ship delta frames");
+        assert!(adaptive.wire_bytes_saved > 0);
+        assert_eq!(adaptive.nak_refetches, 0, "serial exchanges never miss");
+
+        let full = run(ClusterConfig::new(2, 4).without_delta_frames());
+        assert_eq!(full.delta_frames, 0);
+        assert!(
+            adaptive.delta_bytes < full.delta_bytes,
+            "adaptive wire must be smaller: {} vs {}",
+            adaptive.delta_bytes,
+            full.delta_bytes
+        );
+
+        // Perturbed fingerprints force every delta frame to miss: the
+        // NAK/full-frame fallback carries the exchange and the cluster
+        // still converges to the same state (asserted inside `run`).
+        let perturbed = run(ClusterConfig::new(2, 4).with_perturbed_fingerprints());
+        assert!(perturbed.nak_refetches > 0, "perturbation must exercise the NAK path");
+        assert!(perturbed.delta_bytes > adaptive.delta_bytes, "misses cost an extra round");
     }
 
     #[test]

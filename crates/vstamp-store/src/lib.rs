@@ -64,10 +64,15 @@ pub mod store;
 pub mod wire;
 
 pub use backend::{DvvClock, DynamicVvBackend, GcWatermarks, StoreBackend, VstampBackend};
-pub use cluster::{Cluster, ClusterConfig, CompactionStats, ExchangeStats, StoreMetrics};
+pub use cluster::{
+    Cluster, ClusterConfig, CompactionStats, ExchangeStats, GossipStats, StoreMetrics,
+};
 pub use profile::{ProfileSnapshot, SectionSnapshot, StoreProfile};
-pub use store::{GetResult, Key, KeySnapshot, StoredVersion, Value, Version};
-pub use wire::{DigestEntry, Envelope, KeyDelta, MessageKind};
+pub use store::{DeltaOrigin, GetResult, Key, KeySnapshot, StoredVersion, Value, Version};
+pub use wire::{
+    envelope_len, DeltaEncodeStats, DeltaPolicy, DigestEntry, Envelope, KeyDelta, MessageKind,
+    WireKeyDelta, WireVersion,
+};
 
 #[cfg(test)]
 mod tests {

@@ -74,32 +74,66 @@ impl<B: StoreBackend> PartialEq for Version<B> {
     }
 }
 
+/// Delta provenance of a stored version: the encoded dot it was minted
+/// from and the fingerprint of the context it was minted against (the
+/// writing replica's sibling-set hash at mint time). Versions carrying an
+/// origin can ride the wire as delta frames — dot plus fingerprint — and be
+/// reconstructed as `context ⊔ dot` by any receiver whose sibling set
+/// matches the fingerprint. Versions without one (stale-context writes,
+/// merged/reminted survivors, full-frame decodes) always ship full clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaOrigin {
+    /// Canonical encoded bytes of the minting dot (a standalone clock).
+    pub dot_bytes: Arc<[u8]>,
+    /// Sibling-set fingerprint of the mint-time context (the sibling
+    /// set's `versions_hash`, order-independent and O(1)-maintained).
+    pub ctx_fp: u64,
+}
+
 /// A shared stored version: the version behind an `Arc` (shipping a
 /// sibling set in a delta bumps refcounts instead of deep-copying values)
 /// plus its canonical clock bytes and content hash, both computed exactly
-/// once when the version enters the cluster (local write or wire decode).
+/// once when the version enters the cluster (local write or wire decode),
+/// and — when the version was minted against a known context — its delta
+/// origin for adaptive wire encoding.
 #[derive(Debug)]
 pub struct StoredVersion<B: StoreBackend> {
     version: Arc<Version<B>>,
     clock_bytes: Arc<[u8]>,
     hash: u64,
+    origin: Option<DeltaOrigin>,
 }
 
 impl<B: StoreBackend> StoredVersion<B> {
     /// Wraps a locally-created version, encoding its clock with the
     /// backend codec.
     pub fn new(backend: &B, version: Version<B>) -> Self {
+        Self::new_with_origin(backend, version, None)
+    }
+
+    /// Wraps a locally-created version together with its delta origin.
+    pub fn new_with_origin(backend: &B, version: Version<B>, origin: Option<DeltaOrigin>) -> Self {
         let mut bytes = Vec::new();
         backend.encode_clock(&version.clock, &mut bytes);
-        Self::with_clock_bytes(version, bytes.into())
+        Self::with_clock_bytes(version, bytes.into(), origin)
     }
 
     /// Wraps a version decoded from the wire, reusing the already-validated
     /// clock frame instead of re-encoding (the codec is canonical, so the
     /// frame equals the local encoding byte for byte).
-    pub(crate) fn with_clock_bytes(version: Version<B>, clock_bytes: Arc<[u8]>) -> Self {
+    pub(crate) fn with_clock_bytes(
+        version: Version<B>,
+        clock_bytes: Arc<[u8]>,
+        origin: Option<DeltaOrigin>,
+    ) -> Self {
         let hash = version_hash(&clock_bytes, version.value.as_deref());
-        StoredVersion { version: Arc::new(version), clock_bytes, hash }
+        StoredVersion { version: Arc::new(version), clock_bytes, hash, origin }
+    }
+
+    /// The version's delta origin, if it is delta-eligible.
+    #[must_use]
+    pub fn origin(&self) -> Option<&DeltaOrigin> {
+        self.origin.as_ref()
     }
 
     /// The stored version.
@@ -119,6 +153,13 @@ impl<B: StoreBackend> StoredVersion<B> {
     #[must_use]
     pub fn clock_bytes(&self) -> &[u8] {
         &self.clock_bytes
+    }
+
+    /// Content hash of this version (clock bytes plus value), the unit the
+    /// sibling-set hash sums and the per-version digest entries ship.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        self.hash
     }
 
     /// Canonical byte form of the whole version (clock bytes, tombstone
@@ -141,6 +182,7 @@ impl<B: StoreBackend> Clone for StoredVersion<B> {
             version: Arc::clone(&self.version),
             clock_bytes: Arc::clone(&self.clock_bytes),
             hash: self.hash,
+            origin: self.origin.clone(),
         }
     }
 }
@@ -289,9 +331,10 @@ impl<B: StoreBackend> SiblingSet<B> {
         self.versions.iter()
     }
 
-    /// The cached causal context of the whole set (tombstones included;
-    /// test accessor — the serving read path reads it off the snapshot).
-    #[cfg(test)]
+    /// The cached causal context of the whole set (tombstones included).
+    /// The serving read path reads it off the snapshot; delta-frame
+    /// reconstruction reads it here, under the shard lock, as the base
+    /// clock that matching incoming dots join against.
     pub(crate) fn context(&self) -> Option<&B::Clock> {
         self.context.as_ref()
     }
@@ -616,14 +659,14 @@ mod tests {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(2);
         let mut data = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
-        let (e0, c0) = backend.write(&mut state, &elements[0], None);
+        let (e0, c0, _) = backend.write(&mut state, &elements[0], None);
         let outcome =
             data.siblings.merge_version(&backend, stored(&backend, c0.clone(), Some(b"v0")), true);
         assert!(outcome.stored && outcome.evicted.is_empty());
         data.set_element(&backend, e0);
 
         // A concurrent write from the other replica becomes a sibling.
-        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        let (_, c1, _) = backend.write(&mut state, &elements[1], None);
         let outcome =
             data.siblings.merge_version(&backend, stored(&backend, c1.clone(), Some(b"v1")), false);
         assert!(outcome.stored && outcome.evicted.is_empty());
@@ -632,7 +675,7 @@ mod tests {
 
         // A write with the joined context evicts both.
         let context = data.siblings.context().cloned().unwrap();
-        let (_, c2) = backend.write(&mut state, data.element(), Some(&context));
+        let (_, c2, _) = backend.write(&mut state, data.element(), Some(&context));
         let outcome =
             data.siblings.merge_version(&backend, stored(&backend, c2, Some(b"merged")), true);
         assert!(outcome.stored);
@@ -644,7 +687,7 @@ mod tests {
     fn equal_clock_merges_converge_on_the_larger_value() {
         let backend = VstampBackend::gc();
         let (mut state, elements) = backend.new_key(1);
-        let (_, clock) = backend.write(&mut state, &elements[0], None);
+        let (_, clock, _) = backend.write(&mut state, &elements[0], None);
         let mut left = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
         let mut right = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
         let a = stored(&backend, clock.clone(), Some(b"aaa"));
@@ -664,8 +707,8 @@ mod tests {
         let (mut state, elements) = backend.new_key(2);
         // Replica 0 writes, replica 1 writes causally after it (context):
         // the second clock strictly dominates the first.
-        let (_, c1) = backend.write(&mut state, &elements[0], None);
-        let (e2, c2) = backend.write(&mut state, &elements[1], Some(&c1));
+        let (_, c1, _) = backend.write(&mut state, &elements[0], None);
+        let (e2, c2, _) = backend.write(&mut state, &elements[1], Some(&c1));
         assert_eq!(backend.relation(&c1, &c2), Relation::Dominated);
         let mut data = KeyData::<VstampBackend>::new(&backend, e2);
         data.siblings.merge_version(&backend, stored(&backend, c2, Some(b"new")), true);
@@ -681,8 +724,8 @@ mod tests {
         let (mut state, elements) = backend.new_key(2);
         let mut data = KeyData::<VstampBackend>::new(&backend, elements[0].clone());
         assert!(data.siblings.matches_context(None));
-        let (_, c0) = backend.write(&mut state, &elements[0], None);
-        let (_, c1) = backend.write(&mut state, &elements[1], None);
+        let (_, c0, _) = backend.write(&mut state, &elements[0], None);
+        let (_, c1, _) = backend.write(&mut state, &elements[1], None);
         data.siblings.merge_version(&backend, stored(&backend, c0.clone(), Some(b"a")), true);
         data.siblings.merge_version(&backend, stored(&backend, c1.clone(), Some(b"b")), false);
         // Cached context equals the explicit fold.
@@ -691,13 +734,13 @@ mod tests {
         assert!(data.siblings.matches_context(Some(&expected)));
         assert!(!data.siblings.matches_context(Some(&c0)));
         // The matched-context fast path supersedes everything.
-        let (_, c2) = backend.write(&mut state, data.element(), Some(&expected));
+        let (_, c2, _) = backend.write(&mut state, data.element(), Some(&expected));
         let evicted = data.siblings.replace_all(&backend, stored(&backend, c2.clone(), Some(b"m")));
         assert_eq!(evicted.len(), 2);
         assert_eq!(data.siblings.context(), Some(&c2));
         assert_eq!(data.siblings.live_values(), vec![b"m".to_vec()]);
         // Eviction through the slow path refreshes the cache too.
-        let (_, c3) = backend.write(&mut state, data.element(), Some(&c2));
+        let (_, c3, _) = backend.write(&mut state, data.element(), Some(&c2));
         data.siblings.merge_version(&backend, stored(&backend, c3.clone(), Some(b"n")), false);
         assert_eq!(data.siblings.context(), Some(&c3));
     }
