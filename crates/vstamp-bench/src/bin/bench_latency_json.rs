@@ -1,0 +1,410 @@
+//! Open-loop latency benchmark: drives a `vstamp-store` cluster with a
+//! precomputed arrival schedule at fixed offered rates — zipfian key
+//! popularity (s ≈ 0.99) over a ≥100k key space, a read-mostly
+//! get/put/delete session mix, per-thread log-bucketed histograms merged
+//! at the end — and splices a `latency` section into `BENCH_STORE.json`:
+//! per backend × offered rate, get/put p50/p99/p999/max, the achieved vs
+//! offered rate, and the causal-oracle verdict on a sampled-key subset.
+//!
+//! **Why open loop.** A closed-loop client that stalls on a slow op also
+//! stops *issuing* — the arrivals that would have queued behind the stall
+//! vanish from the record, and the tail reads as flat (coordinated
+//! omission). Here every operation's arrival time is generated before the
+//! run (exponential gaps at the offered rate, seeded), a late worker
+//! issues back-to-back until it catches up, and latency is measured from
+//! the **scheduled** arrival — queueing delay included.
+//!
+//! The workload is byte-reproducible from `--seed`: arrivals, key draws
+//! and the op mix all derive from it, and each row records the FNV
+//! `schedule_digest` of the generated schedule as proof (measured
+//! nanoseconds are host-dependent; the *workload* is not).
+//!
+//! Run with `cargo run --release -p vstamp-bench --bin bench_latency_json`.
+//! Flags: `--smoke` (seconds-scale CI grid), `--seed N`, `--threads N`
+//! (client threads, default 4). A background thread runs anti-entropy
+//! sweeps throughout, so gossip application (the batched per-shard path)
+//! contends with foreground traffic exactly as it would in production.
+//! In-binary gates: at the lowest offered rate every backend must achieve
+//! ≥ 90% of offered; every cell must be causally exact on the sampled
+//! keys; and the batched-apply counter must be nonzero (the gossip the
+//! run raced against really took the batched path).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use vstamp_bench::latency::{
+    open_loop_schedule, schedule_digest, with_json_section, LatencyHist, OpKind, OpMix,
+    ScheduledOp, Zipfian, ZIPF_S,
+};
+use vstamp_bench::{header, seed_from_args, smoke_mode};
+use vstamp_sim::store_sim::{decode_id, encode_id, KeyOracle};
+use vstamp_store::{
+    Cluster, ClusterConfig, DynamicVvBackend, GcWatermarks, StoreBackend, VstampBackend,
+};
+
+/// Replicas in the cluster under load.
+const REPLICAS: usize = 3;
+
+/// Shards per replica.
+const SHARDS: usize = 16;
+
+/// Keys whose causal history the oracle tracks — the zipfian head, which
+/// is where the traffic (and any causality bug) concentrates.
+const ORACLE_KEYS: usize = 512;
+
+/// The workload grid of one run.
+struct Grid {
+    /// Offered aggregate arrival rates, ops/sec, ascending.
+    rates: Vec<u64>,
+    /// Zipfian key-space size.
+    keys: usize,
+    /// Seconds of offered load per cell.
+    duration_secs: f64,
+    /// Client threads.
+    threads: usize,
+}
+
+/// One measured cell.
+struct LatencyRow {
+    backend: &'static str,
+    watermarks: &'static str,
+    offered_rate: u64,
+    achieved_rate: f64,
+    ops: usize,
+    keys: usize,
+    threads: usize,
+    get: LatencyHist,
+    put: LatencyHist,
+    all_exact: bool,
+    batched_applies: usize,
+    digest: u64,
+}
+
+impl LatencyRow {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"zipfian-open-loop\", \"backend\": \"{}\", \"watermarks\": \"{}\", \"offered_rate\": {}, \"achieved_rate\": {:.1}, \"ops\": {}, \"keys\": {}, \"zipf_s\": {ZIPF_S}, \"threads\": {}, \"oracle_keys\": {ORACLE_KEYS}, \"get_p50_ns\": {}, \"get_p99_ns\": {}, \"get_p999_ns\": {}, \"get_max_ns\": {}, \"put_p50_ns\": {}, \"put_p99_ns\": {}, \"put_p999_ns\": {}, \"put_max_ns\": {}, \"all_exact\": {}, \"batched_applies\": {}, \"schedule_digest\": \"{:#018x}\"}}",
+            self.backend,
+            self.watermarks,
+            self.offered_rate,
+            self.achieved_rate,
+            self.ops,
+            self.keys,
+            self.threads,
+            self.get.quantile(0.5),
+            self.get.quantile(0.99),
+            self.get.quantile(0.999),
+            self.get.max(),
+            self.put.quantile(0.5),
+            self.put.quantile(0.99),
+            self.put.quantile(0.999),
+            self.put.max(),
+            self.all_exact,
+            self.batched_applies,
+            self.digest,
+        )
+    }
+}
+
+/// Generates the per-thread schedules of one cell (deterministic from
+/// seed, rate and thread count — backend-independent, so every backend
+/// replays the identical workload).
+fn cell_schedules(grid: &Grid, rate: u64, seed: u64) -> Vec<Vec<ScheduledOp>> {
+    let zipf = Zipfian::new(grid.keys, ZIPF_S);
+    let total_ops = (rate as f64 * grid.duration_secs) as usize;
+    let per_thread_rate = (rate / grid.threads as u64).max(1);
+    (0..grid.threads)
+        .map(|t| {
+            let ops = total_ops / grid.threads + usize::from(t < total_ops % grid.threads);
+            open_loop_schedule(ops, per_thread_rate, &zipf, OpMix::read_mostly(), seed, t as u64)
+        })
+        .collect()
+}
+
+/// Runs one backend × rate cell: open-loop clients over their schedules,
+/// a background anti-entropy thread, then bounded convergence sweeps and
+/// the sampled-key oracle check.
+fn run_cell<B: StoreBackend>(
+    backend: B,
+    watermarks: &'static str,
+    grid: &Grid,
+    rate: u64,
+    seed: u64,
+) -> LatencyRow {
+    let backend_label = backend.label();
+    let cluster = Cluster::with_config(backend, ClusterConfig::new(REPLICAS, SHARDS));
+    let keys: Vec<String> = (0..grid.keys).map(|k| format!("key-{k}")).collect();
+    let oracle: Vec<Mutex<KeyOracle>> =
+        (0..ORACLE_KEYS.min(grid.keys)).map(|_| Mutex::new(KeyOracle::default())).collect();
+    let next_id = AtomicU64::new(1);
+    let violations = AtomicUsize::new(0);
+    let schedules = cell_schedules(grid, rate, seed);
+    let digest = schedule_digest(&schedules);
+    assert_eq!(
+        digest,
+        schedule_digest(&cell_schedules(grid, rate, seed)),
+        "schedule generation must be deterministic from the seed"
+    );
+    let ops: usize = schedules.iter().map(Vec::len).sum();
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let mut merged_get = LatencyHist::new();
+    let mut merged_put = LatencyHist::new();
+    std::thread::scope(|scope| {
+        // Background gossip: continuous anti-entropy sweeps, paced so the
+        // foreground keeps most of a timeshared CPU but replication
+        // genuinely contends with the measured operations.
+        let gossip = scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                for a in 0..REPLICAS {
+                    let b = (a + 1) % REPLICAS;
+                    cluster.anti_entropy(a, b);
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        });
+        let workers: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                let (cluster, keys, oracle) = (&cluster, &keys, &oracle);
+                let (next_id, violations) = (&next_id, &violations);
+                scope.spawn(move || {
+                    let mut get_hist = LatencyHist::new();
+                    let mut put_hist = LatencyHist::new();
+                    for (index, op) in schedule.iter().enumerate() {
+                        // Open loop: wait for the scheduled arrival (sleep
+                        // coarse, spin the last stretch); if already past
+                        // it, issue immediately — the lateness is charged
+                        // to this op's latency below.
+                        let mut now = start.elapsed().as_nanos() as u64;
+                        if op.at_nanos > now {
+                            let gap = op.at_nanos - now;
+                            if gap > 120_000 {
+                                std::thread::sleep(Duration::from_nanos(gap - 60_000));
+                            }
+                            while (start.elapsed().as_nanos() as u64) < op.at_nanos {
+                                std::hint::spin_loop();
+                            }
+                            now = op.at_nanos;
+                        }
+                        let _ = now;
+                        let key_index = op.key as usize;
+                        let key = &keys[key_index];
+                        let replica = (key_index + index) % REPLICAS;
+                        match op.kind {
+                            OpKind::Get => {
+                                let read = cluster.get(replica, key);
+                                if key_index < oracle.len() {
+                                    let ids: Vec<u64> = read.iter_values().map(decode_id).collect();
+                                    let bad = oracle[key_index]
+                                        .lock()
+                                        .expect("oracle stripe")
+                                        .false_concurrency(&ids);
+                                    if bad > 0 {
+                                        violations.fetch_add(bad, Ordering::Relaxed);
+                                    }
+                                }
+                                let done = start.elapsed().as_nanos() as u64;
+                                get_hist.record(done.saturating_sub(op.at_nanos));
+                            }
+                            OpKind::Put | OpKind::Delete => {
+                                let delete = op.kind == OpKind::Delete;
+                                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                                if key_index < oracle.len() {
+                                    // Stripe lock held across read → record
+                                    // → write: a reader that sees the value
+                                    // finds its record already in place.
+                                    let mut stripe =
+                                        oracle[key_index].lock().expect("oracle stripe");
+                                    let read = cluster.get(replica, key);
+                                    let ids: Vec<u64> = read.iter_values().map(decode_id).collect();
+                                    stripe.record_write(id, &ids, delete);
+                                    if delete {
+                                        cluster.delete(replica, key, read.context());
+                                    } else {
+                                        cluster.put(replica, key, encode_id(id), read.context());
+                                    }
+                                } else {
+                                    let read = cluster.get(replica, key);
+                                    if delete {
+                                        cluster.delete(replica, key, read.context());
+                                    } else {
+                                        cluster.put(replica, key, encode_id(id), read.context());
+                                    }
+                                }
+                                let done = start.elapsed().as_nanos() as u64;
+                                put_hist.record(done.saturating_sub(op.at_nanos));
+                            }
+                        }
+                    }
+                    (get_hist, put_hist)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (get_hist, put_hist) = worker.join().expect("client threads do not panic");
+            merged_get.merge(&get_hist);
+            merged_put.merge(&put_hist);
+        }
+        stop.store(true, Ordering::Relaxed);
+        gossip.join().expect("gossip thread does not panic");
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let achieved_rate = if elapsed == 0.0 { 0.0 } else { ops as f64 / elapsed };
+
+    // Converge (bounded sweeps, as the sim drivers do) and compare the
+    // sampled keys' live sets against the oracle's causal frontier.
+    let mut converged = false;
+    for _ in 0..REPLICAS * 2 + 4 {
+        for a in 0..REPLICAS {
+            for b in 0..REPLICAS {
+                if a != b {
+                    cluster.anti_entropy(a, b);
+                }
+            }
+        }
+        if cluster.converged() {
+            converged = true;
+            break;
+        }
+    }
+    let mut lost = 0usize;
+    let mut resurrections = 0usize;
+    for (key_index, stripe) in oracle.iter().enumerate() {
+        let expected = stripe.lock().expect("oracle stripe").expected_live();
+        let got: std::collections::BTreeSet<u64> =
+            cluster.get(0, &keys[key_index]).iter_values().map(decode_id).collect();
+        lost += expected.difference(&got).count();
+        resurrections += got.difference(&expected).count();
+    }
+    let all_exact =
+        converged && lost == 0 && resurrections == 0 && violations.load(Ordering::Relaxed) == 0;
+    let batched_applies = cluster.gossip_stats().batched_applies;
+
+    LatencyRow {
+        backend: backend_label,
+        watermarks,
+        offered_rate: rate,
+        achieved_rate,
+        ops,
+        keys: grid.keys,
+        threads: grid.threads,
+        get: merged_get,
+        put: merged_put,
+        all_exact,
+        batched_applies,
+        digest,
+    }
+}
+
+fn print_row(row: &LatencyRow) {
+    println!(
+        "  {:<18} {:<10} offered {:>7}/s achieved {:>8.0}/s  get p50/p99/p999 {:>7}/{:>8}/{:>9} ns  put p50/p99/p999 {:>7}/{:>8}/{:>9} ns  exact={} batched={}",
+        row.backend,
+        row.watermarks,
+        row.offered_rate,
+        row.achieved_rate,
+        row.get.quantile(0.5),
+        row.get.quantile(0.99),
+        row.get.quantile(0.999),
+        row.put.quantile(0.5),
+        row.put.quantile(0.99),
+        row.put.quantile(0.999),
+        row.all_exact,
+        row.batched_applies,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = smoke_mode() || args.iter().any(|a| a == "--smoke");
+    let seed = seed_from_args();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    println!("seed = {seed}{}, host cpus = {host_cpus}", if smoke { " (smoke grid)" } else { "" });
+
+    let grid = if smoke {
+        Grid { rates: vec![6_000, 12_000], keys: 20_000, duration_secs: 0.5, threads }
+    } else {
+        Grid { rates: vec![25_000, 50_000, 100_000], keys: 120_000, duration_secs: 2.0, threads }
+    };
+
+    header("vstamp-store — open-loop latency under zipfian load");
+    println!(
+        "{} keys (zipf s={ZIPF_S}), {} client threads + 1 gossip thread, {REPLICAS} replicas x {SHARDS} shards, oracle on the {ORACLE_KEYS} hottest keys",
+        grid.keys, grid.threads
+    );
+    let mut rows: Vec<LatencyRow> = Vec::new();
+    for &rate in &grid.rates {
+        println!("\noffered rate {rate} ops/s:");
+        rows.push(run_cell(VstampBackend::gc(), "default", &grid, rate, seed));
+        print_row(rows.last().expect("just pushed"));
+        rows.push(run_cell(DynamicVvBackend::new(), "default", &grid, rate, seed));
+        print_row(rows.last().expect("just pushed"));
+    }
+
+    // Watermark A/B at the middle rate: how much p999 the lazy frontier
+    // collapse buys (and what the collapse-every-merge extreme costs).
+    let ab_rate = grid.rates[grid.rates.len() / 2];
+    println!("\nGC watermark A/B at {ab_rate} ops/s:");
+    rows.push(run_cell(
+        VstampBackend::gc_with(GcWatermarks::aggressive()),
+        "aggressive",
+        &grid,
+        ab_rate,
+        seed,
+    ));
+    print_row(rows.last().expect("just pushed"));
+    rows.push(run_cell(VstampBackend::gc_with(GcWatermarks::lazy()), "lazy", &grid, ab_rate, seed));
+    print_row(rows.last().expect("just pushed"));
+
+    // Gates. Lowest offered rate: the store must keep up (≥ 90% of
+    // offered), or every percentile above it is a measurement of the
+    // harness's backlog rather than the store. All cells: causally exact
+    // on the sampled keys, and the gossip the run raced against must have
+    // taken the batched per-shard apply path.
+    let lowest = grid.rates[0];
+    for row in &rows {
+        if row.offered_rate == lowest {
+            assert!(
+                row.achieved_rate >= 0.9 * lowest as f64,
+                "{}/{}: achieved {:.0}/s < 90% of offered {lowest}/s",
+                row.backend,
+                row.watermarks,
+                row.achieved_rate
+            );
+        }
+        assert!(
+            row.all_exact,
+            "{}/{} at {}/s: causal oracle violated on the sampled keys",
+            row.backend, row.watermarks, row.offered_rate
+        );
+        assert!(
+            row.batched_applies > 0,
+            "{}/{} at {}/s: gossip never took the batched apply path",
+            row.backend,
+            row.watermarks,
+            row.offered_rate
+        );
+    }
+    println!("\nall cells causally exact; lowest-rate cells kept >= 90% of offered rate");
+
+    let rendered =
+        format!("[\n{}\n  ]", rows.iter().map(LatencyRow::json).collect::<Vec<_>>().join(",\n"));
+    let existing = std::fs::read_to_string("BENCH_STORE.json")
+        .unwrap_or_else(|_| String::from("{\n  \"benchmark\": \"vstamp-store\"\n}\n"));
+    let spliced = with_json_section(&existing, "latency", &rendered);
+    std::fs::write("BENCH_STORE.json", &spliced).expect("write BENCH_STORE.json");
+    println!("spliced `latency` section ({} rows) into BENCH_STORE.json", rows.len());
+}

@@ -45,7 +45,7 @@ use vstamp_store::{DynamicVvBackend, VstampBackend};
 /// The PR this binary's rows are labelled with in the `throughput`
 /// trajectory section; bump when a later PR regenerates the artifact so
 /// earlier rows are preserved as history instead of overwritten.
-const CURRENT_PR: u32 = 6;
+const CURRENT_PR: u32 = 7;
 
 /// Timing passes per cell; the best (shortest) pass is reported, and the
 /// backends are interleaved across passes so host-speed drift hits every
@@ -57,7 +57,7 @@ const TIMING_PASSES: usize = 5;
 /// seed 20020310) — the "before" rows of the trajectory section. PR 3 ran
 /// the frontier collapse at every merge and re-derived sibling order,
 /// context joins and fingerprints per operation; PR 4 amortized the GC and
-/// cached the sibling order.
+/// cached the sibling order; PR 6 added the adaptive delta wire codec.
 const PR_BASELINES: &[(u32, &str, &str, f64)] = &[
     (3, "partition-heal", "version-stamps-gc", 4009.8),
     (3, "partition-heal", "version-stamps", 10138.2),
@@ -71,6 +71,12 @@ const PR_BASELINES: &[(u32, &str, &str, f64)] = &[
     (4, "churn", "version-stamps-gc", 21685.5),
     (4, "churn", "version-stamps", 21189.2),
     (4, "churn", "dynamic-vv", 29166.2),
+    (6, "partition-heal", "version-stamps-gc", 21105.1),
+    (6, "partition-heal", "version-stamps", 21035.8),
+    (6, "partition-heal", "dynamic-vv", 26528.5),
+    (6, "churn", "version-stamps-gc", 20567.2),
+    (6, "churn", "version-stamps", 18953.0),
+    (6, "churn", "dynamic-vv", 22186.1),
 ];
 
 struct Row {
@@ -290,25 +296,41 @@ fn run_scaling(
     }
 }
 
-/// One profiled pass per backend per scenario: the wall-clock section
-/// breakdown rows of the `profile` JSON section.
+/// Profiled passes per backend per scenario: each backend runs once with
+/// the batched per-shard delta apply (as shipped) and once through the
+/// per-key reference path, so the `profile` JSON section records what the
+/// batching actually saves — lock acquisitions, context rebuilds and GC
+/// watermark probes per exchange, side by side.
 fn run_profiled(scenario: &'static str, spec: &StoreSimSpec) -> Vec<String> {
-    let spec = spec.with_profile();
     let mut rows = Vec::new();
-    let mut push = |report: StoreSimReport| {
-        let p = &report.profile;
-        println!(
-            "  {:<18} gc={:>7.4}s join={:>7.4}s relation={:>7.4}s codec={:>7.4}s lock={:>7.4}s (gc runs: {})",
-            report.backend, p.gc.secs, p.join.secs, p.relation.secs, p.codec.secs, p.lock.secs, p.gc.calls
-        );
-        rows.push(format!(
-            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"gc_secs\": {:.6}, \"gc_runs\": {}, \"join_secs\": {:.6}, \"relation_secs\": {:.6}, \"codec_secs\": {:.6}, \"lock_secs\": {:.6}}}",
-            scenario, report.backend, p.gc.secs, p.gc.calls, p.join.secs, p.relation.secs, p.codec.secs, p.lock.secs
-        ));
-    };
-    push(run_store_sim(VstampBackend::gc(), &spec));
-    push(run_store_sim(VstampBackend::eager(), &spec));
-    push(run_store_sim(DynamicVvBackend::new(), &spec));
+    for (apply_mode, spec) in
+        [("batched", spec.with_profile()), ("per-key", spec.with_profile().with_unbatched_apply())]
+    {
+        let mut push = |report: StoreSimReport| {
+            let p = &report.profile;
+            let exchanges = report.wire.exchanges.max(1) as f64;
+            println!(
+                "  {:<18} {:<8} gc={:>7.4}s join={:>7.4}s relation={:>7.4}s codec={:>7.4}s lock={:>7.4}s  locks/exchange={:>5.1} ctx_rebuilds/exchange={:>5.1} gc_checks={}",
+                report.backend,
+                apply_mode,
+                p.gc.secs,
+                p.join.secs,
+                p.relation.secs,
+                p.codec.secs,
+                p.lock.secs,
+                p.lock.calls as f64 / exchanges,
+                p.ctx_rebuilds as f64 / exchanges,
+                p.gc_checks,
+            );
+            rows.push(format!(
+                "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"apply_mode\": \"{apply_mode}\", \"gc_secs\": {:.6}, \"gc_runs\": {}, \"join_secs\": {:.6}, \"relation_secs\": {:.6}, \"codec_secs\": {:.6}, \"lock_secs\": {:.6}, \"lock_acquisitions\": {}, \"ctx_rebuilds\": {}, \"gc_checks\": {}, \"batched_exchanges\": {}, \"exchanges\": {}}}",
+                scenario, report.backend, p.gc.secs, p.gc.calls, p.join.secs, p.relation.secs, p.codec.secs, p.lock.secs, p.lock.calls, p.ctx_rebuilds, p.gc_checks, p.batched_exchanges, report.wire.exchanges
+            ));
+        };
+        push(run_store_sim(VstampBackend::gc(), &spec));
+        push(run_store_sim(VstampBackend::eager(), &spec));
+        push(run_store_sim(DynamicVvBackend::new(), &spec));
+    }
     rows
 }
 
@@ -362,7 +384,7 @@ fn throughput_json(rows: &[Row]) -> String {
     lines.join(",\n")
 }
 
-fn scaling_json(rows: &[ScalingRow]) -> String {
+fn scaling_json(rows: &[ScalingRow], host_cpus: usize) -> String {
     let single = |scenario: &str, backend: &str| {
         rows.iter()
             .find(|r| r.scenario == scenario && r.backend == backend && r.threads == 1)
@@ -372,8 +394,12 @@ fn scaling_json(rows: &[ScalingRow]) -> String {
         .map(|row| {
             let base = single(row.scenario, row.backend);
             let speedup = if base == 0.0 { 0.0 } else { row.ops_per_sec / base };
+            // More worker threads than host cores means the cell measures
+            // timesharing, not parallel speedup; the flag tells readers
+            // (and the README) not to interpret `speedup_vs_1_thread`.
+            let timeshared = host_cpus < row.threads;
             format!(
-                "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.2}, \"exact\": {}}}",
+                "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"speedup_vs_1_thread\": {:.2}, \"timeshared\": {timeshared}, \"exact\": {}}}",
                 row.scenario, row.backend, row.threads, row.ops_per_sec, speedup, row.exact
             )
         })
@@ -622,7 +648,7 @@ fn main() {
     json.push_str("\n  ],\n");
     if !scaling_rows.is_empty() && !smoke {
         json.push_str("  \"scaling\": [\n");
-        json.push_str(&scaling_json(&scaling_rows));
+        json.push_str(&scaling_json(&scaling_rows, host_cpus));
         json.push_str("\n  ],\n");
     }
     if !profile_rows.is_empty() {
@@ -634,6 +660,15 @@ fn main() {
     let encoded: Vec<String> = rows.iter().map(row_json).collect();
     json.push_str(&encoded.join(",\n"));
     json.push_str("\n  ]\n}\n");
+    // Carry the sibling binary's `latency` section forward: this binary
+    // regenerates everything else, but open-loop latency rows come from
+    // `bench_latency_json` and must survive a throughput re-run.
+    if let Some(latency) = std::fs::read_to_string("BENCH_STORE.json")
+        .ok()
+        .and_then(|old| vstamp_bench::latency::json_section_value(&old, "latency"))
+    {
+        json = vstamp_bench::latency::with_json_section(&json, "latency", &latency);
+    }
     std::fs::write("BENCH_STORE.json", &json).expect("write BENCH_STORE.json");
     println!("wrote BENCH_STORE.json");
 

@@ -18,6 +18,7 @@
 //! | E10 ITC comparison | `cargo run -p vstamp-bench --bin itc_comparison` |
 //! | repr ablation | `cargo bench -p vstamp-bench --bench repr` |
 //! | store backends | `cargo run -p vstamp-bench --bin bench_store_json` (`--profile` for the section breakdown), `cargo bench -p vstamp-bench --bench store` |
+//! | open-loop tail latency | `cargo run -p vstamp-bench --bin bench_latency_json` (`--smoke` for the CI grid; see [`latency`]) |
 //!
 //! The library part holds the small amount of shared code the binaries use
 //! (deterministic seeds and table formatting), so their output is stable
@@ -25,6 +26,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod latency;
 
 use vstamp_core::{Configuration, Mechanism, Trace};
 

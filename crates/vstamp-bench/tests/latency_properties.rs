@@ -1,0 +1,122 @@
+//! Property tests for the open-loop latency machinery: histogram merge
+//! algebra, the documented quantile error bound, and the zipfian sampler's
+//! agreement with its closed-form distribution.
+
+use proptest::prelude::*;
+use vstamp_bench::latency::{LatencyHist, SplitMix64, Zipfian, QUANTILE_RELATIVE_ERROR, ZIPF_S};
+
+fn hist_of(samples: &[u64]) -> LatencyHist {
+    let mut hist = LatencyHist::new();
+    for &sample in samples {
+        hist.record(sample);
+    }
+    hist
+}
+
+fn merged(a: &LatencyHist, b: &LatencyHist) -> LatencyHist {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is commutative and associative: per-thread histograms fold
+    /// in any order to the identical histogram.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(any::<u64>(), 0..120),
+        b in prop::collection::vec(any::<u64>(), 0..120),
+        c in prop::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+        prop_assert_eq!(merged(&merged(&ha, &hb), &hc), merged(&ha, &merged(&hb, &hc)));
+        // And merging partitions of one stream equals recording it whole.
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        whole.extend_from_slice(&c);
+        prop_assert_eq!(merged(&merged(&ha, &hb), &hc), hist_of(&whole));
+    }
+
+    /// Every reported quantile sits within the documented relative error
+    /// of the exact order statistic; values in the linear range and the
+    /// maximum are exact.
+    #[test]
+    fn quantiles_honor_the_documented_error_bound(
+        mut samples in prop::collection::vec(1u64..1 << 40, 1..300),
+        q_ppm in 0u64..=1_000_000,
+    ) {
+        let q = q_ppm as f64 / 1.0e6;
+        let hist = hist_of(&samples);
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let approx = hist.quantile(q);
+        if exact < 128 {
+            prop_assert_eq!(approx, exact, "linear range must be exact");
+        } else {
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(
+                err <= QUANTILE_RELATIVE_ERROR,
+                "q={} approx={} exact={} err={:.4}", q, approx, exact, err
+            );
+        }
+        prop_assert_eq!(hist.quantile(1.0), *samples.last().expect("nonempty"));
+        prop_assert_eq!(hist.max(), *samples.last().expect("nonempty"));
+    }
+
+    /// For small key spaces the sampler's observed rank frequencies match
+    /// the closed-form zipfian masses: a chi-squared-style bucket check on
+    /// the head and the aggregated tail, plus total variation distance
+    /// over all ranks.
+    #[test]
+    fn zipfian_matches_closed_form_for_small_n(n in 2usize..40, seed in any::<u64>()) {
+        let zipf = Zipfian::new(n, ZIPF_S);
+        let mut rng = SplitMix64::new(seed, 17);
+        let draws = 4000usize;
+        let mut observed = vec![0usize; n];
+        for _ in 0..draws {
+            observed[zipf.sample(&mut rng)] += 1;
+        }
+        // Chi-squared statistic over head ranks (expected count >= 5) and
+        // one aggregated tail bucket; dof <= n, and chi2 < 2*dof + 20 is a
+        // generous-but-real acceptance region (a uniform or shifted
+        // sampler fails it immediately).
+        let mut chi2 = 0.0f64;
+        let mut buckets = 0usize;
+        let mut tail_observed = 0.0f64;
+        let mut tail_expected = 0.0f64;
+        for (k, &count) in observed.iter().enumerate() {
+            let expected = zipf.mass(k) * draws as f64;
+            if expected >= 5.0 {
+                let diff = count as f64 - expected;
+                chi2 += diff * diff / expected;
+                buckets += 1;
+            } else {
+                tail_observed += count as f64;
+                tail_expected += expected;
+            }
+        }
+        if tail_expected >= 5.0 {
+            let diff = tail_observed - tail_expected;
+            chi2 += diff * diff / tail_expected;
+            buckets += 1;
+        }
+        prop_assert!(
+            chi2 < 2.0 * buckets as f64 + 20.0,
+            "chi2={:.1} over {} buckets (n={})", chi2, buckets, n
+        );
+        // Total variation distance over all ranks stays small.
+        let tvd: f64 = (0..n)
+            .map(|k| (observed[k] as f64 / draws as f64 - zipf.mass(k)).abs())
+            .sum::<f64>()
+            / 2.0;
+        prop_assert!(tvd < 0.05, "total variation {:.4} too large (n={})", tvd, n);
+        // And the masses themselves are a valid, head-heavy distribution.
+        let total: f64 = (0..n).map(|k| zipf.mass(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(zipf.mass(0) > zipf.mass(n - 1));
+    }
+}

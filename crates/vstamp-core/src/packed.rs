@@ -974,6 +974,80 @@ impl PackedName {
         PackedName { tags: out, strings: self.strings, bits: self.bits + self.strings }
     }
 
+    /// Fused fork-and-dot mint: returns `(self·0, dot)` where `self·0` is
+    /// [`PackedName::append`]`(Bit::Zero)` and `dot` is the canonical
+    /// single-string name the spent half `self·1` reduces to as a dot —
+    /// `{shallowest(self)·1}` — without ever materialising `self·1`.
+    ///
+    /// Appending a bit to every string shifts all depths uniformly and
+    /// preserves preorder, so the shallowest string of `self·1` (preorder
+    /// tie-break included) is exactly the shallowest string of `self` with
+    /// `1` appended; and for a single-string name the appended form *is*
+    /// its singleton encoding. Both arms of a store-side dot mint — "a
+    /// single-string spent id is its own dot" and "take the shallowest" —
+    /// therefore agree with `singleton(shallowest(self)·1)` byte-for-byte,
+    /// which is what this returns. One pass over the tags builds the kept
+    /// half and tracks the shallowest string at the same time, replacing
+    /// the fork's second full-name rewrite plus a separate shallowest scan.
+    ///
+    /// Returns `(empty, empty)` for the empty name, mirroring `append`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vstamp_core::{Bit, PackedName};
+    /// let n: PackedName = "{01, 1}".parse().unwrap();
+    /// let (kept, dot) = n.fork_dot();
+    /// assert_eq!(kept, n.append(Bit::Zero));
+    /// assert_eq!(dot, "{11}".parse().unwrap());
+    /// ```
+    #[must_use]
+    pub fn fork_dot(&self) -> (PackedName, PackedName) {
+        let mut out = TagVec::with_tag_capacity(self.tags.len() + 2 * self.string_count());
+        let mut best: Option<BitString> = None;
+        let mut prefix = BitString::empty();
+        let mut open: Vec<bool> = Vec::new();
+        for i in 0..self.tags.len() {
+            let tag = self.tags.get(i);
+            if tag == NODE {
+                out.push(NODE);
+                open.push(false);
+                prefix.push(Bit::Zero);
+                continue;
+            }
+            if tag == ELEM {
+                out.push(NODE);
+                out.push(ELEM);
+                out.push(EMPTY);
+                if !best.as_ref().is_some_and(|b| b.len() <= prefix.len()) {
+                    best = Some(prefix.clone());
+                }
+            } else {
+                out.push(EMPTY);
+            }
+            while let Some(in_one) = open.last_mut() {
+                if *in_one {
+                    open.pop();
+                    prefix.pop();
+                } else {
+                    *in_one = true;
+                    prefix.pop();
+                    prefix.push(Bit::One);
+                    break;
+                }
+            }
+        }
+        let kept = PackedName { tags: out, strings: self.strings, bits: self.bits + self.strings };
+        let dot = match best {
+            Some(mut s) => {
+                s.push(Bit::One);
+                PackedName::singleton(&s)
+            }
+            None => PackedName::empty(),
+        };
+        (kept, dot)
+    }
+
     /// Query depth from which [`PackedName::locate`] builds the one-pass
     /// subtree-end skip index instead of re-scanning sibling subtrees: every
     /// `One` step otherwise costs a [`TagsView::subtree_end`] scan of the
@@ -1646,6 +1720,30 @@ mod tests {
             for bit in [Bit::Zero, Bit::One] {
                 let expected = NameTree::from_name(&name(a)).append(bit).to_name();
                 assert_eq!(packed(a).append(bit).to_name(), expected, "append mismatch {a}·{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_dot_matches_fork_plus_shallowest() {
+        for a in SAMPLES {
+            let p = packed(a);
+            let (kept, dot) = p.fork_dot();
+            assert_eq!(kept, p.append(Bit::Zero), "kept half mismatch for {a}");
+            let spent = p.append(Bit::One);
+            match spent.shallowest_string() {
+                Some(s) => {
+                    assert_eq!(dot, PackedName::singleton(&s), "dot mismatch for {a}");
+                    if p.string_count() == 1 {
+                        // A single-string spent id *is* its dot: the fused
+                        // singleton must be byte-identical to the appended form.
+                        assert_eq!(dot, spent, "single-string dot not canonical for {a}");
+                    }
+                }
+                None => {
+                    assert!(dot.is_empty(), "dot of empty name must be empty");
+                    assert!(kept.is_empty());
+                }
             }
         }
     }

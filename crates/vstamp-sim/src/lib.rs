@@ -51,7 +51,9 @@ pub use metrics::{
 pub use oracle::{check_against_oracle, AgreementReport, Disagreement};
 pub use runner::{compare_mechanisms, MechanismSet};
 pub use scenario::{figure1, figure2, figure3, figure4, stamp_walkthrough, Scenario};
-pub use store_sim::{run_store_sim, StoreSimReport, StoreSimSpec, WireReport};
+pub use store_sim::{
+    decode_id, encode_id, run_store_sim, KeyOracle, StoreSimReport, StoreSimSpec, WireReport,
+};
 pub use workload::{
     generate, generate_fixed_population, generate_partition_heal, OperationMix, WorkloadSpec,
 };

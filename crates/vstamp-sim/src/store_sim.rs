@@ -70,6 +70,13 @@ pub struct StoreSimSpec {
     /// frame misses at the receiver and the NAK/full-frame fallback
     /// carries the exchange — the forced-miss correctness drill.
     pub perturb_fingerprints: bool,
+    /// Enables read repair: every `get` merges all replicas' sibling sets
+    /// and pushes missing versions back to lagging replicas, giving
+    /// monotonic reads across replica switches mid-partition.
+    pub read_repair: bool,
+    /// Disables batched delta application (the pre-batching reference
+    /// path: one lock acquisition and context rebuild per key delta).
+    pub unbatched_apply: bool,
 }
 
 impl StoreSimSpec {
@@ -90,6 +97,8 @@ impl StoreSimSpec {
             threads: 1,
             full_frames_only: false,
             perturb_fingerprints: false,
+            read_repair: false,
+            unbatched_apply: false,
         }
     }
 
@@ -123,6 +132,21 @@ impl StoreSimSpec {
         self
     }
 
+    /// The same spec with read repair switched on at every `get`.
+    #[must_use]
+    pub fn with_read_repair(mut self) -> Self {
+        self.read_repair = true;
+        self
+    }
+
+    /// The same spec with batched delta application disabled (per-key
+    /// reference apply path).
+    #[must_use]
+    pub fn with_unbatched_apply(mut self) -> Self {
+        self.unbatched_apply = true;
+        self
+    }
+
     /// The cluster wiring this spec asks for.
     fn cluster_config(&self) -> ClusterConfig {
         let mut config = ClusterConfig::new(self.replicas, self.shards);
@@ -131,6 +155,12 @@ impl StoreSimSpec {
         }
         if self.perturb_fingerprints {
             config = config.with_perturbed_fingerprints();
+        }
+        if self.read_repair {
+            config = config.with_read_repair();
+        }
+        if self.unbatched_apply {
+            config = config.without_batched_apply();
         }
         config
     }
@@ -155,6 +185,8 @@ impl StoreSimSpec {
             threads: 1,
             full_frames_only: false,
             perturb_fingerprints: false,
+            read_repair: false,
+            unbatched_apply: false,
         }
     }
 
@@ -175,6 +207,8 @@ impl StoreSimSpec {
             threads: 1,
             full_frames_only: false,
             perturb_fingerprints: false,
+            read_repair: false,
+            unbatched_apply: false,
         }
     }
 
@@ -205,6 +239,8 @@ impl StoreSimSpec {
             threads: 1,
             full_frames_only: false,
             perturb_fingerprints: false,
+            read_repair: false,
+            unbatched_apply: false,
         }
     }
 }
@@ -379,8 +415,15 @@ impl StoreSimReport {
 /// key, so causal chains never cross keys and the oracle shards cleanly —
 /// which is what lets the concurrent driver stripe it (one mutex per key)
 /// without a global serialization point.
+///
+/// Public as the *oracle sampling hook*: external drivers (the open-loop
+/// latency benchmark) keep one `KeyOracle` per sampled key, record their
+/// sessions through it, and gate their run on
+/// [`KeyOracle::false_concurrency`] / [`KeyOracle::expected_live`] exactly
+/// as the simulation drivers here do. Values must be
+/// [`encode_id`]-encoded put ids for the final live-set diff to work.
 #[derive(Debug, Default)]
-struct KeyOracle {
+pub struct KeyOracle {
     /// `closure[id]` = every id causally before `id` (transitively).
     closure: BTreeMap<u64, BTreeSet<u64>>,
     /// Put ids that were deletes.
@@ -390,7 +433,9 @@ struct KeyOracle {
 }
 
 impl KeyOracle {
-    fn record_write(&mut self, id: u64, read_ids: &[u64], delete: bool) {
+    /// Records a session's write: `id` causally follows everything in
+    /// `read_ids` (transitively).
+    pub fn record_write(&mut self, id: u64, read_ids: &[u64], delete: bool) {
         let mut closure = BTreeSet::new();
         for &seen in read_ids {
             closure.insert(seen);
@@ -405,13 +450,15 @@ impl KeyOracle {
         self.ids.push(id);
     }
 
-    fn covers(&self, later: u64, earlier: u64) -> bool {
+    /// Whether write `later` causally covers (happens after) write
+    /// `earlier`.
+    pub fn covers(&self, later: u64, earlier: u64) -> bool {
         self.closure.get(&later).is_some_and(|closure| closure.contains(&earlier))
     }
 
     /// Sibling pairs in `read_ids` where one causally covers the other —
     /// the false-concurrency count of one read.
-    fn false_concurrency(&self, read_ids: &[u64]) -> usize {
+    pub fn false_concurrency(&self, read_ids: &[u64]) -> usize {
         let mut violations = 0;
         for (i, &a) in read_ids.iter().enumerate() {
             for &b in &read_ids[i + 1..] {
@@ -424,7 +471,7 @@ impl KeyOracle {
     }
 
     /// Causally maximal writes on the key (nothing covers them).
-    fn maximal(&self) -> BTreeSet<u64> {
+    pub fn maximal(&self) -> BTreeSet<u64> {
         self.ids
             .iter()
             .copied()
@@ -434,7 +481,7 @@ impl KeyOracle {
 
     /// Expected live values after convergence: maximal writes that are not
     /// deletes.
-    fn expected_live(&self) -> BTreeSet<u64> {
+    pub fn expected_live(&self) -> BTreeSet<u64> {
         self.maximal().into_iter().filter(|id| !self.deletes.contains(id)).collect()
     }
 }
@@ -459,11 +506,19 @@ impl Oracle {
     }
 }
 
-fn encode_id(id: u64) -> Vec<u8> {
+/// Encodes a put id as the 8-byte little-endian value the oracle drivers
+/// store; [`decode_id`] inverts it.
+pub fn encode_id(id: u64) -> Vec<u8> {
     id.to_le_bytes().to_vec()
 }
 
-fn decode_id(value: &[u8]) -> u64 {
+/// Decodes a value written via [`encode_id`] back into its put id.
+///
+/// # Panics
+///
+/// Panics if `value` is not exactly 8 bytes — oracle-driven workloads only
+/// ever store encoded ids.
+pub fn decode_id(value: &[u8]) -> u64 {
     u64::from_le_bytes(value.try_into().expect("sim values are 8-byte put ids"))
 }
 
@@ -954,6 +1009,110 @@ mod tests {
         let a = run_store_sim(VstampBackend::gc(), &spec);
         let b = run_store_sim(VstampBackend::gc(), &spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_repair_specs_stay_exact() {
+        let spec = StoreSimSpec::partition_heal(6, 10, 42).with_read_repair();
+        for report in [
+            run_store_sim(VstampBackend::gc(), &spec),
+            run_store_sim(DynamicVvBackend::new(), &spec),
+        ] {
+            assert!(
+                report.is_exact(),
+                "{}: lost={} false_conc={} resurrect={} converged={}",
+                report.backend,
+                report.lost_updates,
+                report.false_concurrency,
+                report.resurrections,
+                report.converged
+            );
+        }
+        let unbatched = run_store_sim(
+            VstampBackend::gc(),
+            &StoreSimSpec::churn(4, 12, 7).with_unbatched_apply(),
+        );
+        assert!(unbatched.is_exact());
+    }
+
+    /// Drives one partition/heal trace and returns, per monotonic-reads
+    /// check, `(checks, cross_replica_checks, violations)`: a violation is
+    /// a previously read put id that a later read by the same client (at
+    /// any replica) neither returned nor covered causally.
+    fn monotonic_read_trace(read_repair: bool) -> (usize, usize, usize) {
+        let replicas = 4usize;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut config = ClusterConfig::new(replicas, 4);
+        if read_repair {
+            config = config.with_read_repair();
+        }
+        let cluster = Cluster::with_config(VstampBackend::gc(), config);
+        let keys: Vec<String> = (0..4).map(|k| format!("key-{k}")).collect();
+        let mut oracle = Oracle::default();
+        let mut next_id = 1u64;
+        // Per client, per key: the put ids and replica of the last read.
+        let clients = 6usize;
+        let mut last_read: Vec<BTreeMap<String, (usize, Vec<u64>)>> =
+            vec![BTreeMap::new(); clients];
+        // Two islands; anti-entropy stays island-local until the heal.
+        let mut island_of: Vec<usize> = (0..replicas).map(|r| r % 2).collect();
+        let rounds = 12usize;
+        let (mut checks, mut cross, mut violations) = (0usize, 0usize, 0usize);
+        for round in 0..rounds {
+            for (client, seen) in last_read.iter_mut().enumerate() {
+                // Clients hop replicas freely: reads cross the partition
+                // even while gossip cannot.
+                let replica = (client + round) % replicas;
+                let key = keys[rng.gen_range(0..keys.len())].clone();
+                let read = cluster.get(replica, &key);
+                let ids: Vec<u64> = read.iter_values().map(decode_id).collect();
+                if let Some((prev_replica, prev_ids)) = seen.get(&key) {
+                    let key_oracle = oracle.by_key.get(&key).expect("key was read before");
+                    for &earlier in prev_ids {
+                        checks += 1;
+                        if prev_replica != &replica {
+                            cross += 1;
+                        }
+                        let still_visible = ids.contains(&earlier)
+                            || ids.iter().any(|&now| key_oracle.covers(now, earlier));
+                        if !still_visible {
+                            violations += 1;
+                        }
+                    }
+                }
+                let id = next_id;
+                next_id += 1;
+                cluster.put(replica, &key, encode_id(id), read.context());
+                oracle.record_write(id, &key, &ids, false);
+                seen.insert(key, (replica, ids));
+            }
+            for a in 0..replicas {
+                for b in 0..replicas {
+                    if a != b && island_of[a] == island_of[b] {
+                        cluster.anti_entropy(a, b);
+                    }
+                }
+            }
+            if round == rounds / 2 {
+                for island in island_of.iter_mut() {
+                    *island = 0;
+                }
+            }
+        }
+        (checks, cross, violations)
+    }
+
+    #[test]
+    fn read_repair_gives_monotonic_reads_across_partition_heal() {
+        // Without repair the trace demonstrably loses monotonicity when a
+        // client's read hops across the partition; with repair every
+        // previously read id stays present-or-covered at every replica.
+        let (checks, cross, violations) = monotonic_read_trace(false);
+        assert!(checks > 0 && cross > 0, "trace must exercise cross-replica reads");
+        assert!(violations > 0, "without read repair the partition must show stale reads");
+        let (checks, cross, violations) = monotonic_read_trace(true);
+        assert!(checks > 0 && cross > 0, "trace must exercise cross-replica reads");
+        assert_eq!(violations, 0, "read repair must make reads monotonic");
     }
 
     #[test]

@@ -213,26 +213,6 @@ fn fork_tree(replicas: usize) -> Vec<VersionStamp> {
     elements
 }
 
-/// The element's *dot*: its shallowest identity string, the decentralized
-/// stand-in for DVV's `(replica, counter)` write identifier. A written
-/// version's clock is `context ⊔ {dot}`; dots of different elements live in
-/// disjoint identity subtrees (Invariant I2), so concurrent writes are
-/// incomparable, while a re-read context acquires the dot and strictly
-/// dominates it.
-///
-/// Consumes the spent fork half: a single-string id (the steady state
-/// after cover shrinking) *is* its own dot, so the common case moves the
-/// name out instead of rebuilding it.
-fn element_dot(spent: VersionStamp) -> PackedName {
-    let (_, id) = spent.into_parts();
-    if id.string_count() == 1 {
-        return id;
-    }
-    let shallowest =
-        id.shallowest_string().expect("live elements own at least one identity string");
-    PackedName::singleton(&shallowest)
-}
-
 /// The evidence footprint of one stamp, in the packed representation: the
 /// join of its update and id components (for the store's identity-carrier
 /// elements the update is empty, so this is the id itself).
@@ -537,6 +517,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         // pinned and never touches unpinned markers' subtrees only when
         // evidence frees them).
         let collapsed;
+        if let Some(p) = self.profile.as_deref() {
+            p.count(&p.gc_checks);
+        }
         let element = if self
             .gc
             .as_ref()
@@ -555,9 +538,13 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
         // the same one, Invariant I2), the version's clock is the client's
         // read context joined with the dot, and evicting the version later
         // releases its pin so the collapse pool reclaims the spent half —
-        // identity lending instead of counters.
-        let (kept, spent) = element.fork();
-        let marker = element_dot(spent);
+        // identity lending instead of counters. The fused mint produces
+        // the spent half directly in dot form (the decentralized stand-in
+        // for DVV's `(replica, counter)` pair): one tag pass builds the
+        // kept id and tracks the shallowest string, so the spent full name
+        // is never materialised.
+        let (kept_id, marker) = element.id_name().fork_dot();
+        let kept = Stamp::from_parts_unchecked(element.update_name().clone(), kept_id);
         let clock = match context {
             Some(context) => context.join(&marker),
             None => marker.clone(),
@@ -613,6 +600,9 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
             shrink_identity(&local.join(shipped))
         };
         state.merges_since_gc += 1;
+        if let Some(p) = self.profile.as_deref() {
+            p.count(&p.gc_checks);
+        }
         if self.collapse_due(state, &result).is_some() {
             result = self.collapse_element(state, &result);
         }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use vstamp_core::Relation;
 
 use crate::backend::StoreBackend;
 use crate::profile::{ProfileSnapshot, StoreProfile};
@@ -120,6 +121,10 @@ pub struct GossipStats {
     pub root_probes: usize,
     /// Probes that hit: converged peers that exchanged nothing further.
     pub root_matches: usize,
+    /// Delta exchanges applied through the per-shard batched path
+    /// ([`Cluster::apply_delta_batch`]). Always counted, profiling on or
+    /// off — the latency driver gates on it being nonzero.
+    pub batched_applies: usize,
 }
 
 /// Atomic backing store of [`GossipStats`], shared by the synchronous
@@ -138,6 +143,7 @@ struct WireCounters {
     versions_skipped: AtomicUsize,
     root_probes: AtomicUsize,
     root_matches: AtomicUsize,
+    batched_applies: AtomicUsize,
 }
 
 impl WireCounters {
@@ -155,6 +161,7 @@ impl WireCounters {
             versions_skipped: self.versions_skipped.load(Ordering::Relaxed),
             root_probes: self.root_probes.load(Ordering::Relaxed),
             root_matches: self.root_matches.load(Ordering::Relaxed),
+            batched_applies: self.batched_applies.load(Ordering::Relaxed),
         }
     }
 
@@ -226,6 +233,17 @@ pub struct ClusterConfig {
     /// delta frame misses and takes the NAK/refetch fallback — a
     /// correctness-stress knob, never on by default.
     pub perturb_fingerprints: bool,
+    /// Apply incoming delta exchanges through
+    /// [`Cluster::apply_delta_batch`]: one lock acquisition per shard and
+    /// one sibling-cache rebuild per key per exchange, instead of one of
+    /// each per key/version. Default on; off reproduces the per-key
+    /// reference path for A/B profiling.
+    pub batched_apply: bool,
+    /// Read repair on [`Cluster::get`]: a read consults every replica,
+    /// serves the merged sibling set, and pushes versions a lagging
+    /// replica is missing back into it — monotonic reads across replica
+    /// switches at the cost of a cluster-wide read. Default off.
+    pub read_repair: bool,
 }
 
 impl Default for ClusterConfig {
@@ -239,7 +257,14 @@ impl ClusterConfig {
     /// fingerprints honest).
     #[must_use]
     pub fn new(replicas: usize, shards: usize) -> Self {
-        ClusterConfig { replicas, shards, delta_frames: true, perturb_fingerprints: false }
+        ClusterConfig {
+            replicas,
+            shards,
+            delta_frames: true,
+            perturb_fingerprints: false,
+            batched_apply: true,
+            read_repair: false,
+        }
     }
 
     /// Disables delta frames: every version ships its full clock frame.
@@ -254,6 +279,22 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_perturbed_fingerprints(mut self) -> Self {
         self.perturb_fingerprints = true;
+        self
+    }
+
+    /// Disables the per-shard batched delta application: exchanges take
+    /// the per-key reference path (one lock pair and one cache rebuild
+    /// per key/version) — the "before" side of the batching A/B.
+    #[must_use]
+    pub fn without_batched_apply(mut self) -> Self {
+        self.batched_apply = false;
+        self
+    }
+
+    /// Enables read repair on [`Cluster::get`].
+    #[must_use]
+    pub fn with_read_repair(mut self) -> Self {
+        self.read_repair = true;
         self
     }
 
@@ -275,6 +316,8 @@ pub struct Cluster<B: StoreBackend> {
     shards: ShardIndexer,
     profile: Arc<StoreProfile>,
     policy: DeltaPolicy,
+    batched_apply: bool,
+    read_repair: bool,
     wire: WireCounters,
 }
 
@@ -326,6 +369,8 @@ impl<B: StoreBackend> Cluster<B> {
             shards,
             profile: Arc::new(StoreProfile::default()),
             policy: config.policy(),
+            batched_apply: config.batched_apply,
+            read_repair: config.read_repair,
             wire: WireCounters::default(),
         }
     }
@@ -383,8 +428,116 @@ impl<B: StoreBackend> Cluster<B> {
     /// and gossip or GC bookkeeping on *other* shards never touches it.
     #[must_use]
     pub fn get(&self, replica: usize, key: &str) -> GetResult<B> {
+        if self.read_repair {
+            return self.get_repaired(replica, key);
+        }
         let shard = self.replicas[replica].shard(self.shards.index(key)).read();
         GetResult::new(shard.get(key).and_then(|data| data.siblings.snapshot()))
+    }
+
+    /// Read-repair read: consults every replica's snapshot, computes the
+    /// merged sibling antichain, pushes versions a lagging replica is
+    /// missing back into it, and serves the queried replica's refreshed
+    /// view. With the flag on, a client that switches replicas between
+    /// reads still observes monotonic reads: whatever one read returned is
+    /// stored (or dominated by something stored) at *every* replica before
+    /// the read returns.
+    fn get_repaired(&self, replica: usize, key: &str) -> GetResult<B> {
+        let shard_index = self.shards.index(key);
+        let snapshots: Vec<_> = (0..self.replicas.len())
+            .map(|r| {
+                let shard = self.replicas[r].shard(shard_index).read();
+                shard.get(key).and_then(|data| data.siblings.snapshot())
+            })
+            .collect();
+        // Merge every replica's versions into one antichain: dominated
+        // versions drop, byte-equal clocks deduplicate (value tie-break,
+        // mirroring the sibling-set merge rule so the repaired sets match
+        // what anti-entropy would converge to).
+        let mut merged: Vec<StoredVersion<B>> = Vec::new();
+        for version in snapshots.iter().flatten().flat_map(|snapshot| snapshot.versions()) {
+            if let Some(index) =
+                merged.iter().position(|held| held.clock_bytes() == version.clock_bytes())
+            {
+                if version.version().value > merged[index].version().value {
+                    merged[index] = version.clone();
+                }
+                continue;
+            }
+            let mut dominated = false;
+            let mut index = 0;
+            while index < merged.len() {
+                match self.backend.relation(merged[index].clock(), version.clock()) {
+                    Relation::Dominated => {
+                        merged.swap_remove(index);
+                    }
+                    Relation::Dominates | Relation::Equal => {
+                        dominated = true;
+                        break;
+                    }
+                    Relation::Concurrent => index += 1,
+                }
+            }
+            if !dominated {
+                merged.push(version.clone());
+            }
+        }
+        if merged.is_empty() {
+            return GetResult::new(None);
+        }
+        for (r, snapshot) in snapshots.iter().enumerate() {
+            let missing: Vec<StoredVersion<B>> = merged
+                .iter()
+                .filter(|version| {
+                    !snapshot.as_ref().is_some_and(|snapshot| {
+                        snapshot
+                            .versions()
+                            .iter()
+                            .any(|held| held.clock_bytes() == version.clock_bytes())
+                    })
+                })
+                .cloned()
+                .collect();
+            if !missing.is_empty() {
+                self.repair_replica(r, shard_index, key, missing);
+            }
+        }
+        let shard = self.replicas[replica].shard(shard_index).read();
+        GetResult::new(shard.get(key).and_then(|data| data.siblings.snapshot()))
+    }
+
+    /// Pushes read-repair versions into one replica: the apply-side merge
+    /// path minus the element absorb (repair moves versions, not identity
+    /// knowledge — fingerprints still differ afterwards, and anti-entropy
+    /// settles them as usual).
+    fn repair_replica(
+        &self,
+        replica: usize,
+        shard_index: usize,
+        key: &str,
+        versions: Vec<StoredVersion<B>>,
+    ) {
+        let (mut plane, mut shard) = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+            (self.plane[shard_index].lock(), self.replicas[replica].shard(shard_index).write())
+        };
+        let Some(entry) = plane.get_mut(key) else { return };
+        if !shard.contains_key(key) {
+            let claimed =
+                entry.unclaimed[replica].take().expect("initial element claimed exactly once");
+            shard.insert(key.to_owned(), KeyData::new(&self.backend, claimed));
+        }
+        let data = shard.get_mut(key).expect("inserted above");
+        for incoming in versions {
+            let clock = incoming.clock().clone();
+            let outcome = data.siblings.merge_version(&self.backend, incoming, false);
+            if outcome.stored {
+                self.backend.retain_clock(&mut entry.state, &clock);
+            }
+            for evicted in &outcome.evicted {
+                self.backend.release_clock(&mut entry.state, evicted.clock());
+            }
+        }
     }
 
     /// The pre-snapshot reference read path: materializes the live values
@@ -649,8 +802,7 @@ impl<B: StoreBackend> Cluster<B> {
     pub fn apply_delta(&self, requester: usize, deltas: Vec<WireKeyDelta<B>>) -> Vec<Key> {
         let mut misses = Vec::new();
         for delta in deltas {
-            let WireKeyDelta { key, element, versions } = delta;
-            let shard_index = self.shards.index(&key);
+            let shard_index = self.shards.index(&delta.key);
             let (mut plane, mut shard) = {
                 let _timer =
                     self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
@@ -659,66 +811,151 @@ impl<B: StoreBackend> Cluster<B> {
                     self.replicas[requester].shard(shard_index).write(),
                 )
             };
-            let Some(entry) = plane.get_mut(&key) else { continue };
-            if !shard.contains_key(&key) {
-                let claimed = entry.unclaimed[requester]
-                    .take()
-                    .expect("initial element claimed exactly once");
-                shard.insert(key.clone(), KeyData::new(&self.backend, claimed));
-            }
-            let data = shard.get_mut(&key).expect("inserted above");
-            let absorbed = {
-                let _timer =
-                    self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
-                self.backend.absorb(&mut entry.state, data.element(), &element)
-            };
-            data.set_element(&self.backend, absorbed);
-            let _timer =
-                self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
-            // Every delta frame of this batch was minted against one
-            // sibling-set state, so the base context and its hash are
-            // captured once, *before* any merge of the batch mutates the
-            // set — merges of earlier versions must not invalidate the
-            // reconstruction base of later ones.
-            let base_fp = data.siblings.versions_hash();
-            let base_ctx = versions
-                .iter()
-                .any(|version| matches!(version, WireVersion::Delta { .. }))
-                .then(|| data.siblings.context().cloned())
-                .flatten();
-            let mut key_missed = false;
-            for version in versions {
-                let incoming = match version {
-                    WireVersion::Full(stored) => stored,
-                    WireVersion::Delta { dot, dot_bytes, ctx_fp, value } => {
-                        if ctx_fp != base_fp {
-                            key_missed = true;
-                            continue;
-                        }
-                        rebuild_wire_version(
-                            &self.backend,
-                            base_ctx.as_ref(),
-                            &dot,
-                            dot_bytes,
-                            ctx_fp,
-                            value,
-                        )
-                    }
-                };
-                let clock = incoming.clock().clone();
-                let outcome = data.siblings.merge_version(&self.backend, incoming, false);
-                if outcome.stored {
-                    self.backend.retain_clock(&mut entry.state, &clock);
-                }
-                for evicted in &outcome.evicted {
-                    self.backend.release_clock(&mut entry.state, evicted.clock());
-                }
-            }
-            if key_missed {
-                misses.push(key);
+            if let Some(miss) =
+                self.apply_key_delta(requester, &mut plane, &mut shard, delta, false)
+            {
+                misses.push(miss);
             }
         }
         misses
+    }
+
+    /// The batched form of [`Cluster::apply_delta`]: frames are grouped by
+    /// destination shard, the (clock-plane, data-shard) lock pair is taken
+    /// **once per shard** instead of once per key, and each key's sibling
+    /// cache upkeep runs once after all of the key's versions merged
+    /// instead of once per version — the `Arc`-swapped snapshot publishes
+    /// exactly once, and the k-way context rebuild runs **at most** once
+    /// (only when an eviction invalidated the incrementally-maintained
+    /// context — see `SiblingSet::finish_deferred`) — the amortized-GC
+    /// design of PR 4 extended across the whole exchange. Gossip workers
+    /// and the synchronous exchange route through this unless
+    /// [`ClusterConfig::without_batched_apply`] selected the reference
+    /// path.
+    pub fn apply_delta_batch(&self, requester: usize, deltas: Vec<WireKeyDelta<B>>) -> Vec<Key> {
+        let mut misses = Vec::new();
+        if deltas.is_empty() {
+            return misses;
+        }
+        self.wire.batched_applies.fetch_add(1, Ordering::Relaxed);
+        self.profile.count(&self.profile.batched_exchanges);
+        let mut grouped: Vec<(usize, WireKeyDelta<B>)> =
+            deltas.into_iter().map(|delta| (self.shards.index(&delta.key), delta)).collect();
+        grouped.sort_by_key(|(shard_index, _)| *shard_index);
+        let mut grouped = grouped.into_iter().peekable();
+        while let Some(&(shard_index, _)) = grouped.peek() {
+            let (mut plane, mut shard) = {
+                let _timer =
+                    self.profile.is_enabled().then(|| self.profile.time(&self.profile.lock));
+                (
+                    self.plane[shard_index].lock(),
+                    self.replicas[requester].shard(shard_index).write(),
+                )
+            };
+            while let Some((_, delta)) =
+                grouped.next_if(|&(next_shard, _)| next_shard == shard_index)
+            {
+                if let Some(miss) =
+                    self.apply_key_delta(requester, &mut plane, &mut shard, delta, true)
+                {
+                    misses.push(miss);
+                }
+            }
+        }
+        misses
+    }
+
+    /// Routes one exchange's deltas through the configured apply path.
+    fn apply_delta_dispatch(&self, requester: usize, deltas: Vec<WireKeyDelta<B>>) -> Vec<Key> {
+        if self.batched_apply {
+            self.apply_delta_batch(requester, deltas)
+        } else {
+            self.apply_delta(requester, deltas)
+        }
+    }
+
+    /// Applies one key's wire delta under already-held shard locks: element
+    /// absorb (one watermark-gated collapse check), then every version
+    /// merge. Returns the key on a delta-frame fingerprint miss (it needs
+    /// a NAK/full-frame refetch). `batched` defers the sibling cache
+    /// upkeep to a single close after the last version (one snapshot
+    /// publish, a context rebuild only if an eviction forced one) — sound
+    /// because the reconstruction base is captured before the first merge
+    /// and the shard write lock is held across the whole key.
+    fn apply_key_delta(
+        &self,
+        requester: usize,
+        plane: &mut HashMap<Key, KeyPlane<B>>,
+        shard: &mut HashMap<Key, KeyData<B>>,
+        delta: WireKeyDelta<B>,
+        batched: bool,
+    ) -> Option<Key> {
+        let WireKeyDelta { key, element, versions } = delta;
+        let entry = plane.get_mut(&key)?;
+        if !shard.contains_key(&key) {
+            let claimed =
+                entry.unclaimed[requester].take().expect("initial element claimed exactly once");
+            shard.insert(key.clone(), KeyData::new(&self.backend, claimed));
+        }
+        let data = shard.get_mut(&key).expect("inserted above");
+        let absorbed = {
+            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+            self.backend.absorb(&mut entry.state, data.element(), &element)
+        };
+        data.set_element(&self.backend, absorbed);
+        let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
+        // Every delta frame of this batch was minted against one
+        // sibling-set state, so the base context and its hash are
+        // captured once, *before* any merge of the batch mutates the
+        // set — merges of earlier versions must not invalidate the
+        // reconstruction base of later ones.
+        let base_fp = data.siblings.versions_hash();
+        let base_ctx = versions
+            .iter()
+            .any(|version| matches!(version, WireVersion::Delta { .. }))
+            .then(|| data.siblings.context().cloned())
+            .flatten();
+        let mut key_missed = false;
+        let mut mutated = false;
+        for version in versions {
+            let incoming = match version {
+                WireVersion::Full(stored) => stored,
+                WireVersion::Delta { dot, dot_bytes, ctx_fp, value } => {
+                    if ctx_fp != base_fp {
+                        key_missed = true;
+                        continue;
+                    }
+                    rebuild_wire_version(
+                        &self.backend,
+                        base_ctx.as_ref(),
+                        &dot,
+                        dot_bytes,
+                        ctx_fp,
+                        value,
+                    )
+                }
+            };
+            let clock = incoming.clock().clone();
+            let outcome = if batched {
+                data.siblings.merge_version_deferred(&self.backend, incoming)
+            } else {
+                data.siblings.merge_version(&self.backend, incoming, false)
+            };
+            if outcome.ctx_rebuilt {
+                self.profile.count(&self.profile.ctx_rebuilds);
+            }
+            mutated |= outcome.stored || !outcome.evicted.is_empty();
+            if outcome.stored {
+                self.backend.retain_clock(&mut entry.state, &clock);
+            }
+            for evicted in &outcome.evicted {
+                self.backend.release_clock(&mut entry.state, evicted.clock());
+            }
+        }
+        if batched && mutated && data.siblings.finish_deferred(&self.backend) {
+            self.profile.count(&self.profile.ctx_rebuilds);
+        }
+        key_missed.then_some(key)
     }
 
     /// One pull-based anti-entropy exchange: `requester` sends its digest,
@@ -787,7 +1024,7 @@ impl<B: StoreBackend> Cluster<B> {
             root_probes: probes,
             root_matches: 0,
         };
-        let misses = self.apply_delta(requester, decoded_deltas);
+        let misses = self.apply_delta_dispatch(requester, decoded_deltas);
         if !misses.is_empty() {
             // Fingerprint misses: NAK the keys and refetch them as full
             // frames, which cannot miss — one bounded extra round.
@@ -797,7 +1034,7 @@ impl<B: StoreBackend> Cluster<B> {
                 encode_delta(&self.backend, &refetch, DeltaPolicy::FULL_ONLY);
             let decoded = decode_delta(&self.backend, &refetch_payload)
                 .expect("locally-encoded refetch decodes");
-            let leftover = self.apply_delta(requester, decoded);
+            let leftover = self.apply_delta_dispatch(requester, decoded);
             debug_assert!(leftover.is_empty(), "full frames cannot miss");
             stats.nak_refetches = misses.len();
             stats.delta_bytes += envelope_len(requester, nak_payload.len())
@@ -904,7 +1141,7 @@ impl<B: StoreBackend> Cluster<B> {
             MessageKind::Delta => {
                 let deltas =
                     decode_delta(&self.backend, &envelope.payload).expect("peer deltas decode");
-                let misses = self.apply_delta(index, deltas);
+                let misses = self.apply_delta_dispatch(index, deltas);
                 if !misses.is_empty() {
                     let payload = encode_nak(&misses);
                     self.wire
@@ -1460,6 +1697,81 @@ mod tests {
         let perturbed = run(ClusterConfig::new(2, 4).with_perturbed_fingerprints());
         assert!(perturbed.nak_refetches > 0, "perturbation must exercise the NAK path");
         assert!(perturbed.delta_bytes > adaptive.delta_bytes, "misses cost an extra round");
+    }
+
+    #[test]
+    fn batched_and_per_key_apply_converge_identically() {
+        // Same write pattern through both apply paths: the batched path
+        // must land every replica on the exact per-key reference state.
+        let run = |config: ClusterConfig| {
+            let cluster = Cluster::with_config(VstampBackend::gc(), config);
+            for round in 0u8..6 {
+                for replica in 0..3 {
+                    let key = format!("k{}", (round as usize + replica) % 5);
+                    let read = cluster.get(replica, &key);
+                    cluster.put(replica, &key, vec![round, replica as u8], read.context());
+                }
+                cluster.anti_entropy(round as usize % 3, (round as usize + 1) % 3);
+            }
+            full_sweep(&cluster);
+            assert!(cluster.converged());
+            (cluster.sibling_snapshot(0), cluster.gossip_stats())
+        };
+        let (batched, batched_stats) = run(ClusterConfig::new(3, 4));
+        let (reference, reference_stats) = run(ClusterConfig::new(3, 4).without_batched_apply());
+        assert_eq!(batched, reference, "batched apply must not change the merged state");
+        assert!(batched_stats.batched_applies > 0, "default config routes through the batch path");
+        assert_eq!(reference_stats.batched_applies, 0, "reference path must not batch");
+    }
+
+    #[test]
+    fn apply_delta_batch_counts_one_lock_section_per_shard() {
+        let mut cluster = Cluster::with_config(VstampBackend::gc(), ClusterConfig::new(2, 4));
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            cluster.put(0, key, key.as_bytes().to_vec(), None);
+        }
+        cluster.enable_profiling();
+        let digest = cluster.build_digest(1);
+        let (deltas, _) = cluster.respond_delta(0, &digest);
+        let shards_touched: std::collections::HashSet<usize> =
+            deltas.iter().map(|delta| cluster.shards.index(&delta.key)).collect();
+        let (payload, _) = encode_delta(cluster.backend(), &deltas, DeltaPolicy::FULL_ONLY);
+        let decoded = decode_delta(cluster.backend(), &payload).expect("decodes");
+        let before = cluster.profile_snapshot();
+        let misses = cluster.apply_delta_batch(1, decoded);
+        assert!(misses.is_empty());
+        let after = cluster.profile_snapshot();
+        // One lock section per touched shard — not one per key — plus at
+        // most one context rebuild per key.
+        assert_eq!(after.lock.calls - before.lock.calls, shards_touched.len() as u64);
+        assert!(after.ctx_rebuilds - before.ctx_rebuilds <= deltas.len() as u64);
+        assert_eq!(after.batched_exchanges - before.batched_exchanges, 1);
+        assert_eq!(cluster.get(1, "a").values(), vec![b"a".to_vec()]);
+    }
+
+    #[test]
+    fn read_repair_pushes_merged_set_to_lagging_replicas() {
+        let cluster =
+            Cluster::with_config(VstampBackend::gc(), ClusterConfig::new(3, 4).with_read_repair());
+        cluster.put(0, "k", b"v0".to_vec(), None);
+        cluster.put(1, "k", b"v1".to_vec(), None);
+        // Replica 2 has never heard of the key; a repaired read serves the
+        // merged siblings and back-fills every replica.
+        let read = cluster.get(2, "k");
+        assert_eq!(read.values().len(), 2, "read must serve the cluster-wide merge");
+        for replica in 0..3 {
+            let shard = cluster.replicas[replica].shard(cluster.shards.index("k")).read();
+            assert_eq!(
+                shard.get("k").map(|data| data.siblings.len()),
+                Some(2),
+                "replica {replica} must hold the merged set after repair"
+            );
+        }
+        // A dominating write then supersedes everywhere it repairs to.
+        let context = read.context().cloned().unwrap();
+        cluster.put(0, "k", b"merged".to_vec(), Some(&context));
+        assert_eq!(cluster.get(1, "k").values(), vec![b"merged".to_vec()]);
+        assert_eq!(cluster.get(2, "k").values(), vec![b"merged".to_vec()]);
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct StoreProfile {
     pub(crate) relation: SectionCounter,
     pub(crate) codec: SectionCounter,
     pub(crate) lock: SectionCounter,
+    pub(crate) ctx_rebuilds: AtomicU64,
+    pub(crate) gc_checks: AtomicU64,
+    pub(crate) batched_exchanges: AtomicU64,
 }
 
 impl StoreProfile {
@@ -67,6 +70,16 @@ impl StoreProfile {
         SectionTimer { section, start: if self.is_enabled() { Some(Instant::now()) } else { None } }
     }
 
+    /// Bumps an event counter when profiling is on. Event counters track
+    /// *how often* a structural event happens (context rebuilds, watermark
+    /// checks, batched exchanges) rather than where time goes — the
+    /// batched-vs-per-key apply comparison is counted in these.
+    pub(crate) fn count(&self, counter: &AtomicU64) {
+        if self.is_enabled() {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The accumulated per-section totals.
     #[must_use]
     pub fn snapshot(&self) -> ProfileSnapshot {
@@ -76,6 +89,9 @@ impl StoreProfile {
             relation: self.relation.snapshot(),
             codec: self.codec.snapshot(),
             lock: self.lock.snapshot(),
+            ctx_rebuilds: self.ctx_rebuilds.load(Ordering::Relaxed),
+            gc_checks: self.gc_checks.load(Ordering::Relaxed),
+            batched_exchanges: self.batched_exchanges.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +135,18 @@ pub struct ProfileSnapshot {
     pub codec: SectionSnapshot,
     /// Shard and clock-plane lock acquisitions.
     pub lock: SectionSnapshot,
+    /// Sibling-set cached-context rebuilds (k-way clock joins) — the
+    /// eviction-forced cache refresh the batched apply amortizes to at
+    /// most one per mutated key per exchange.
+    pub ctx_rebuilds: u64,
+    /// GC watermark checks (`collapse_due` probes on absorb and the
+    /// write-path bits check).
+    pub gc_checks: u64,
+    /// Delta exchanges applied through [`Cluster::apply_delta_batch`]
+    /// (one increment per batched exchange, regardless of key count).
+    ///
+    /// [`Cluster::apply_delta_batch`]: crate::Cluster::apply_delta_batch
+    pub batched_exchanges: u64,
 }
 
 #[cfg(test)]

@@ -302,11 +302,23 @@ pub(crate) struct SiblingSet<B: StoreBackend> {
     /// The shared read-path view, swapped wholesale after every mutation:
     /// `get` hands out an `Arc` clone of this and touches nothing else.
     snapshot: Option<Arc<KeySnapshot<B>>>,
+    /// Set when a deferred merge invalidated the cached context (an
+    /// eviction, whose join contribution cannot be subtracted back out);
+    /// [`SiblingSet::finish_deferred`] pays the one k-way rebuild iff this
+    /// is set. Deferred *stores* keep the context exact incrementally, so
+    /// an eviction-free batch closes without any rebuild at all.
+    deferred_dirty: bool,
 }
 
 impl<B: StoreBackend> SiblingSet<B> {
     fn new() -> Self {
-        SiblingSet { versions: Vec::new(), context: None, versions_hash: 0, snapshot: None }
+        SiblingSet {
+            versions: Vec::new(),
+            context: None,
+            versions_hash: 0,
+            snapshot: None,
+            deferred_dirty: false,
+        }
     }
 
     /// The shared point-in-time view (`None` iff the set is empty).
@@ -380,6 +392,20 @@ impl<B: StoreBackend> SiblingSet<B> {
         self.versions.push(incoming);
     }
 
+    /// Stores a version during a deferred batch: while the cached context
+    /// is still exact the incremental join keeps it exact (same cost as
+    /// the per-key path), but once an eviction dirtied it there is no
+    /// point joining into a context that [`SiblingSet::finish_deferred`]
+    /// will rebuild anyway — only the O(1) hash is maintained.
+    fn store_deferred(&mut self, backend: &B, incoming: StoredVersion<B>) {
+        if self.deferred_dirty {
+            self.versions_hash = self.versions_hash.wrapping_add(incoming.hash);
+            self.versions.push(incoming);
+        } else {
+            self.push(backend, incoming);
+        }
+    }
+
     fn remove(&mut self, index: usize) -> StoredVersion<B> {
         let version = self.versions.swap_remove(index);
         self.versions_hash = self.versions_hash.wrapping_sub(version.hash);
@@ -424,6 +450,47 @@ impl<B: StoreBackend> SiblingSet<B> {
         incoming: StoredVersion<B>,
         local_write: bool,
     ) -> MergeOutcome<B> {
+        self.merge_version_inner(backend, incoming, local_write, false)
+    }
+
+    /// The batched-exchange merge: identical relation logic to
+    /// [`SiblingSet::merge_version`], but the cache upkeep — the k-way
+    /// context rebuild and the `Arc`-swapped snapshot publish — is
+    /// deferred. The caller merges every version of the key's batch, then
+    /// closes with one [`SiblingSet::finish_deferred`]; between the two
+    /// the cached context and snapshot are stale, so the caller must hold
+    /// the shard write lock throughout and capture any reconstruction
+    /// base *before* the first deferred merge (the batched apply does
+    /// both).
+    pub(crate) fn merge_version_deferred(
+        &mut self,
+        backend: &B,
+        incoming: StoredVersion<B>,
+    ) -> MergeOutcome<B> {
+        self.merge_version_inner(backend, incoming, false, true)
+    }
+
+    /// Closes a deferred batch: at most one context rebuild (only if an
+    /// eviction dirtied the incremental cache) plus exactly one snapshot
+    /// publish, regardless of how many versions the batch merged. Returns
+    /// whether the k-way rebuild ran (the profile's `ctx_rebuilds` unit).
+    pub(crate) fn finish_deferred(&mut self, backend: &B) -> bool {
+        let rebuilt = self.deferred_dirty;
+        if rebuilt {
+            self.refresh_context(backend);
+            self.deferred_dirty = false;
+        }
+        self.refresh_snapshot();
+        rebuilt
+    }
+
+    fn merge_version_inner(
+        &mut self,
+        backend: &B,
+        incoming: StoredVersion<B>,
+        local_write: bool,
+        deferred: bool,
+    ) -> MergeOutcome<B> {
         // Memoized fast path: byte-identical clock bytes mean the same
         // causal position (the codec is canonical), and the antichain
         // invariant pins its relation to every *other* sibling at
@@ -431,7 +498,7 @@ impl<B: StoreBackend> SiblingSet<B> {
         if let Some(index) =
             self.versions.iter().position(|v| v.clock_bytes == incoming.clock_bytes)
         {
-            return self.resolve_equal(backend, incoming, index, local_write);
+            return self.resolve_equal(backend, incoming, index, local_write, deferred);
         }
         let mut evicted = Vec::new();
         let mut store_incoming = true;
@@ -451,7 +518,7 @@ impl<B: StoreBackend> SiblingSet<B> {
                     // comparable with its equal), so the cached context is
                     // still exact.
                     debug_assert!(evicted.is_empty(), "antichain rules out prior evictions");
-                    return self.resolve_equal(backend, incoming, index, local_write);
+                    return self.resolve_equal(backend, incoming, index, local_write, deferred);
                 }
                 Relation::Dominates => {
                     // A stored dominator: the antichain invariant rules out
@@ -463,16 +530,27 @@ impl<B: StoreBackend> SiblingSet<B> {
                 Relation::Concurrent => index += 1,
             }
         }
-        if !evicted.is_empty() {
-            self.refresh_context(backend);
+        let mut ctx_rebuilt = false;
+        if deferred {
+            if !evicted.is_empty() {
+                self.deferred_dirty = true;
+            }
+            if store_incoming {
+                self.store_deferred(backend, incoming);
+            }
+        } else {
+            if !evicted.is_empty() {
+                self.refresh_context(backend);
+                ctx_rebuilt = true;
+            }
+            if store_incoming {
+                self.push(backend, incoming);
+            }
+            if store_incoming || !evicted.is_empty() {
+                self.refresh_snapshot();
+            }
         }
-        if store_incoming {
-            self.push(backend, incoming);
-        }
-        if store_incoming || !evicted.is_empty() {
-            self.refresh_snapshot();
-        }
-        MergeOutcome { stored: store_incoming, evicted }
+        MergeOutcome { stored: store_incoming, evicted, ctx_rebuilt }
     }
 
     /// Resolves an incoming version against the clock-equal stored sibling
@@ -483,9 +561,18 @@ impl<B: StoreBackend> SiblingSet<B> {
         incoming: StoredVersion<B>,
         index: usize,
         local_write: bool,
+        deferred: bool,
     ) -> MergeOutcome<B> {
         if local_write || incoming.version.value > self.versions[index].version.value {
             let evicted = self.remove(index);
+            if deferred {
+                // Byte-identical clocks leave the cached context exact; a
+                // different wire form of an Equal clock (identifier
+                // backends) dirties it for the finish-time rebuild.
+                self.deferred_dirty |= evicted.clock_bytes != incoming.clock_bytes;
+                self.store_deferred(backend, incoming);
+                return MergeOutcome { stored: true, evicted: vec![evicted], ctx_rebuilt: false };
+            }
             let refresh = evicted.clock_bytes != incoming.clock_bytes;
             self.push(backend, incoming);
             // Byte-identical clocks leave the cached context exact; an
@@ -495,9 +582,9 @@ impl<B: StoreBackend> SiblingSet<B> {
                 self.refresh_context(backend);
             }
             self.refresh_snapshot();
-            MergeOutcome { stored: true, evicted: vec![evicted] }
+            MergeOutcome { stored: true, evicted: vec![evicted], ctx_rebuilt: refresh }
         } else {
-            MergeOutcome { stored: false, evicted: Vec::new() }
+            MergeOutcome { stored: false, evicted: Vec::new(), ctx_rebuilt: false }
         }
     }
 
@@ -533,6 +620,10 @@ pub(crate) struct MergeOutcome<B: StoreBackend> {
     /// Previously-stored versions the merge evicted (their evidence pins
     /// must be released).
     pub evicted: Vec<StoredVersion<B>>,
+    /// Whether this merge rebuilt the cached context (a k-way clock
+    /// join) — the per-version cost the batched apply amortizes, counted
+    /// by the profile's `ctx_rebuilds`.
+    pub ctx_rebuilt: bool,
 }
 
 impl<B: StoreBackend> KeyData<B> {
