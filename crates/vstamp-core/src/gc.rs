@@ -290,6 +290,48 @@ pub fn stamp_footprint<N: NameLike>(stamp: &Stamp<N>) -> Name {
     stamp.update_name().to_name().join(&stamp.id_name().to_name())
 }
 
+/// Retires identity space no longer defended by any live member: collapses
+/// `stamp` against the joined footprints of the *surviving* frontier and
+/// then shrinks the result to its covers.
+///
+/// This is the membership-eviction entry point. When a cluster member is
+/// evicted, every survivor calls this with its own membership stamp and the
+/// footprints of the members it still considers live (the evicted member's
+/// id is deliberately absent, so the space that member occupied stops
+/// blocking [`collapse`]). A survivor adjacent to the evicted subtree —
+/// one holding the sibling half of the fork that created the evicted
+/// identity — re-anchors onto the common prefix, and the evicted subtree is
+/// reabsorbed: id strings shrink back toward their pre-join depth.
+///
+/// **Why concurrent retirement is safe.** A collapse root `r` chosen by
+/// member X requires X to dominate `r` and the evidence to leave `r`
+/// unblocked — in particular no *other* live footprint reaches into `r`'s
+/// subtree. Two live members therefore never pick comparable roots, so
+/// independent, unsynchronized calls at different members keep identities
+/// pairwise disjoint. Stale member tables only make the evidence *larger*
+/// (an entry not yet marked evicted still contributes its footprint), which
+/// blocks more and retires less — conservative, never unsound.
+///
+/// `others` must carry the footprints of every *other* member still
+/// considered live — their identities plus any space they have lent out
+/// (spent fork halves recorded in the member table). The caller's own
+/// lent-out halves are deliberately *not* evidence: space the caller lent
+/// (say, to root a key universe) sits adjacent to its own id, so keeping
+/// it as evidence would permanently wall off every upward merge. Callers
+/// that lend from reclaimed space must tolerate lends that overlap their
+/// earlier ones — sound wherever lent subtrees are only ever compared
+/// within disjoint namespaces (see `vstamp-store`'s membership register
+/// for the per-key argument).
+#[must_use]
+pub fn retire_identity<'a, N, I>(stamp: &Stamp<N>, others: I) -> Stamp<N>
+where
+    N: NameLike,
+    I: IntoIterator<Item = &'a Name>,
+{
+    let evidence = FrontierEvidence::from_footprints(others);
+    shrink_to_covers(&collapse(stamp, &evidence))
+}
+
 /// One mirrored frontier element of [`FrontierGc`]: the stamp plus its
 /// cached [`stamp_footprint`], computed once when the element entered the
 /// frontier.
@@ -487,6 +529,60 @@ mod tests {
             FrontierEvidence::from_packed_footprints(std::iter::empty()),
             FrontierEvidence::empty()
         );
+    }
+
+    #[test]
+    fn retire_identity_reclaims_an_evicted_sibling_subtree() {
+        // A={0}, B={1}; a newcomer N joined by forking B: B={10}, N={11}.
+        // N is evicted. B retires against the survivors' footprints (A
+        // only): root 1 is unblocked, so B re-anchors to {1} — the id
+        // depth returns to its pre-join level.
+        let a = stamp("{}", "{0}");
+        let b = stamp("{}", "{10}");
+        let retired = retire_identity(&b, [a.id_name()]);
+        assert_eq!(retired, stamp("{}", "{1}"));
+        // A is unchanged by its own retirement pass: B's surviving
+        // footprint still blocks everything A could grow into.
+        let a_retired = retire_identity(&a, [b.id_name()]);
+        assert_eq!(a_retired, a);
+    }
+
+    #[test]
+    fn retire_identity_is_blocked_by_live_footprints() {
+        // Same topology, but N={11} is still live: B must not move.
+        let a = stamp("{}", "{0}");
+        let b = stamp("{}", "{10}");
+        let n = stamp("{}", "{11}");
+        let retired = retire_identity(&b, [a.id_name(), n.id_name()]);
+        assert_eq!(retired, b);
+    }
+
+    #[test]
+    fn retire_identity_respects_spent_fork_halves() {
+        // B={10} lent {11} out as a key-universe root (recorded as spent
+        // identity in the evidence). Even with the evicted member gone, B
+        // may not swallow the lent half.
+        let b = stamp("{}", "{10}");
+        let spent = name("{11}");
+        let retired = retire_identity(&b, [&name("{0}"), &spent]);
+        assert_eq!(retired, b);
+    }
+
+    #[test]
+    fn concurrent_retirement_keeps_survivors_disjoint() {
+        // Three-way split {00, 01, 1}; the member at {01} is evicted.
+        // {00} may claim {0}; {1} must stay put — their retired ids stay
+        // disjoint without any synchronization.
+        let x = stamp("{}", "{00}");
+        let y = stamp("{}", "{1}");
+        let x2 = retire_identity(&x, [y.id_name()]);
+        let y2 = retire_identity(&y, [x.id_name()]);
+        assert_eq!(x2, stamp("{}", "{0}"));
+        assert_eq!(y2, y);
+        let overlap = stamp_footprint(&x2)
+            .iter()
+            .any(|s| stamp_footprint(&y2).iter().any(|t| s.is_prefix_of(t) || t.is_prefix_of(s)));
+        assert!(!overlap, "retired ids must remain disjoint");
     }
 
     #[test]

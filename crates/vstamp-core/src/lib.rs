@@ -96,7 +96,7 @@ pub use causal::{CausalHistory, CausalMechanism, EventId};
 pub use codec::{BitTrieCodec, StampCodec, VarintCodec};
 pub use config::{Applied, Configuration, ElementId, Operation, Trace};
 pub use error::{ConfigError, DecodeError, StampError};
-pub use gc::{FrontierEvidence, FrontierGc};
+pub use gc::{retire_identity, FrontierEvidence, FrontierGc};
 pub use invariants::{audit_configuration, audit_frontier, InvariantReport, Violation};
 pub use mechanism::{
     GcStampMechanism, Mechanism, PackedStampMechanism, SetStampMechanism, StampMechanism,

@@ -20,6 +20,10 @@
 //! * [`store_sim`] — the `vstamp-store` scenario: N store replicas under
 //!   partition/heal and churn, checked against a causal oracle built from
 //!   the session structure (lost updates, false concurrency);
+//! * [`nemesis`] — socket-level fault injection for the real-TCP cluster:
+//!   frame-parsing proxies that drop/delay/duplicate frames or black-hole
+//!   a node's inbound side, plus a seeded fault plan (used by the
+//!   `cluster_harness` binary against multi-process clusters);
 //! * [`viz`] — Graphviz (DOT) export of evolution DAGs, for rendering the
 //!   reproduction's counterparts of the paper's figures.
 //!
@@ -38,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod nemesis;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
@@ -48,6 +53,7 @@ pub mod workload;
 pub use metrics::{
     measure_fragmentation, measure_space, ComparisonTable, FragmentationReport, SpaceReport,
 };
+pub use nemesis::{FaultEvent, FaultPlan, NemesisConfig, Proxy};
 pub use oracle::{check_against_oracle, AgreementReport, Disagreement};
 pub use runner::{compare_mechanisms, MechanismSet};
 pub use scenario::{figure1, figure2, figure3, figure4, stamp_walkthrough, Scenario};

@@ -66,6 +66,36 @@ pub trait StoreBackend: Send + Sync + 'static {
     /// element per replica.
     fn new_key(&self, replicas: usize) -> (Self::KeyState, Vec<Self::Element>);
 
+    /// Creates a key universe rooted at a caller-supplied element instead
+    /// of the seed — the *decentralized creation* path of multi-process
+    /// serving, where a node's first write of a key anchors the key's
+    /// identity space under a fork half of the node's own membership
+    /// stamp, so independent first-writes of the same key at different
+    /// nodes mint disjoint subtrees and later merge as ordinary siblings.
+    ///
+    /// Returns `None` when the backend cannot root a universe without
+    /// coordination (identifier-allocating backends would need their
+    /// central allocator consulted — exactly the dependency the paper's
+    /// mechanism removes).
+    fn new_key_rooted(
+        &self,
+        _replicas: usize,
+        _root: &Self::Element,
+    ) -> Option<(Self::KeyState, Vec<Self::Element>)> {
+        None
+    }
+
+    /// Adopts a peer's shipped element as this process's first element for
+    /// a previously-unknown key: builds the coordination state with the
+    /// shipped element pinned, so the follow-up merge traffic balances.
+    /// Multi-process nodes use this when anti-entropy teaches them a key
+    /// they have never written.
+    ///
+    /// Returns `None` when the backend cannot adopt foreign elements.
+    fn adopt_key(&self, _element: &Self::Element) -> Option<Self::KeyState> {
+        None
+    }
+
     /// A local write: advances the replica's element and mints the clock of
     /// the written version from the client's read context plus the
     /// element's own knowledge. Returns `(element, clock, dot)` — the
@@ -202,8 +232,16 @@ pub trait StoreBackend: Send + Sync + 'static {
 /// so Section-6 reduction and the frontier GC are free to collapse and
 /// re-anchor identities the moment no stored clock pins them.
 fn fork_tree(replicas: usize) -> Vec<VersionStamp> {
-    let mut elements = vec![VersionStamp::from_parts(PackedName::empty(), PackedName::epsilon())
-        .expect("empty update below any id")];
+    let seed = VersionStamp::from_parts(PackedName::empty(), PackedName::epsilon())
+        .expect("empty update below any id");
+    fork_tree_from(seed, replicas)
+}
+
+/// [`fork_tree`] rooted at an arbitrary stamp: the decentralized-creation
+/// variant, where the root is a fork half of a node's membership identity
+/// rather than the whole universe.
+fn fork_tree_from(seed: VersionStamp, replicas: usize) -> Vec<VersionStamp> {
+    let mut elements = vec![seed];
     while elements.len() < replicas.max(1) {
         let victim = elements.remove(0);
         let (zero, one) = victim.fork();
@@ -500,6 +538,36 @@ impl<C: StampCodec<PackedName> + Clone + Send + Sync + 'static> StoreBackend for
             state.pin_stamp(element);
         }
         (state, elements)
+    }
+
+    fn new_key_rooted(
+        &self,
+        replicas: usize,
+        root: &Self::Element,
+    ) -> Option<(Self::KeyState, Vec<Self::Element>)> {
+        let elements = fork_tree_from(root.clone(), replicas);
+        let mut state = VstampKeyState::default();
+        for element in &elements {
+            state.pin_stamp(element);
+        }
+        Some((state, elements))
+    }
+
+    fn adopt_key(&self, element: &Self::Element) -> Option<Self::KeyState> {
+        // An adopted key's evidence pool is incomplete by construction:
+        // the pins here can only ever cover *this* process's elements and
+        // stored clocks, while the universe's other fork halves live in
+        // the pools of remote processes. Collapsing on such one-sided
+        // evidence can absorb a sibling subtree a remote replica still
+        // owns and then mint a dot inside it, whose clock would falsely
+        // dominate (and silently evict) the remote replica's unseen
+        // sibling writes. Mark the state degraded so every collapse path
+        // stays off; eager Section-6 reduction still runs, and the
+        // *membership* identity retirement is unaffected (it is gated on
+        // member-table evidence, not this pool).
+        let mut state = VstampKeyState { degraded: true, ..VstampKeyState::default() };
+        state.pin_stamp(element);
+        Some(state)
     }
 
     fn write(
@@ -967,6 +1035,44 @@ mod tests {
         assert!(merged.validate().is_ok());
         assert!(!state.is_degraded());
         let _ = kept;
+    }
+
+    #[test]
+    fn adopted_key_state_never_collapses_on_one_sided_evidence() {
+        // Three separate processes (three pin pools). A roots the key and
+        // lends halves to B and C; each of B and C sees only its own pins,
+        // so a collapse at C could absorb B's subtree and mint a dot whose
+        // clock falsely dominates B's unseen write. Adoption must disable
+        // the collapse outright.
+        let backend = VstampBackend::gc_with(GcWatermarks::aggressive());
+        let (mut state_a, elements) = backend.new_key(1);
+        let mut element_a = elements[0].clone();
+        let (next_a, clock_root, _) = backend.write(&mut state_a, &element_a, None);
+        element_a = next_a;
+
+        let (kept_a, to_b) = backend.detach(&mut state_a, &element_a);
+        element_a = kept_a;
+        let mut state_b = backend.adopt_key(&to_b).expect("vstamp adopts");
+        assert!(state_b.is_degraded(), "adopted evidence is one-sided by construction");
+        let (_, clock_b, _) = backend.write(&mut state_b, &to_b, Some(&clock_root));
+
+        let (_, to_c) = backend.detach(&mut state_a, &element_a);
+        let mut state_c = backend.adopt_key(&to_c).expect("vstamp adopts");
+        let mut element_c = to_c;
+        let mut context = clock_root;
+        // C writes many times without ever learning of B's write; no clock
+        // it mints may dominate (or equal) B's — that would evict B's
+        // sibling sight-unseen during anti-entropy.
+        for _ in 0..24 {
+            let (next_c, clock_c, _) = backend.write(&mut state_c, &element_c, Some(&context));
+            assert_eq!(
+                backend.relation(&clock_b, &clock_c),
+                Relation::Concurrent,
+                "an unseen remote sibling must stay concurrent"
+            );
+            element_c = next_c;
+            context = clock_c;
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use vstamp_core::Relation;
@@ -47,6 +47,18 @@ struct KeyPlane<B: StoreBackend> {
     state: B::KeyState,
     unclaimed: Vec<Option<B::Element>>,
 }
+
+/// Base wait for one gossip pull's reply; each retry attempt waits one
+/// multiple longer (200 ms, 400 ms, …) — backoff without a timer wheel.
+const GOSSIP_PULL_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// How many times one gossip pull (re)sends its opening probe/digest
+/// before the round is abandoned.
+const GOSSIP_PULL_ATTEMPTS: usize = 3;
+
+/// Hard deadline for one pull exchange, retries included. A stalled
+/// responder costs at most this much wall-clock per round.
+const GOSSIP_EXCHANGE_TIMEOUT: Duration = Duration::from_millis(1500);
 
 /// Volume and coverage counters of one anti-entropy exchange.
 ///
@@ -125,6 +137,9 @@ pub struct GossipStats {
     /// ([`Cluster::apply_delta_batch`]). Always counted, profiling on or
     /// off — the latency driver gates on it being nonzero.
     pub batched_applies: usize,
+    /// Gossip pulls re-sent after a reply timed out (bounded retries with
+    /// a widening wait; see [`Cluster::run_gossip`]).
+    pub pull_retries: usize,
 }
 
 /// Atomic backing store of [`GossipStats`], shared by the synchronous
@@ -144,6 +159,7 @@ struct WireCounters {
     root_probes: AtomicUsize,
     root_matches: AtomicUsize,
     batched_applies: AtomicUsize,
+    pull_retries: AtomicUsize,
 }
 
 impl WireCounters {
@@ -162,6 +178,7 @@ impl WireCounters {
             root_probes: self.root_probes.load(Ordering::Relaxed),
             root_matches: self.root_matches.load(Ordering::Relaxed),
             batched_applies: self.batched_applies.load(Ordering::Relaxed),
+            pull_retries: self.pull_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -648,6 +665,37 @@ impl<B: StoreBackend> Cluster<B> {
         clock
     }
 
+    /// Whether `key`'s universe exists anywhere in the cluster's clock
+    /// plane.
+    #[must_use]
+    pub fn has_key(&self, key: &str) -> bool {
+        self.plane[self.shards.index(key)].lock().contains_key(key)
+    }
+
+    /// Creates `key`'s universe rooted at `root` — the decentralized
+    /// creation path. Multi-process nodes call this with a fork half of
+    /// their membership identity before their first write of an unknown
+    /// key, so independent creations of the same key at different nodes
+    /// mint disjoint identity subtrees that later merge as ordinary
+    /// siblings. Returns `false` (leaving the plane untouched) when the
+    /// key already exists or the backend cannot root universes without
+    /// coordination.
+    pub fn create_key_rooted(&self, key: &str, root: &B::Element) -> bool {
+        let shard_index = self.shards.index(key);
+        let mut plane = self.plane[shard_index].lock();
+        if plane.contains_key(key) {
+            return false;
+        }
+        let Some((state, elements)) = self.backend.new_key_rooted(self.replicas.len(), root) else {
+            return false;
+        };
+        plane.insert(
+            key.to_owned(),
+            KeyPlane { state, unclaimed: elements.into_iter().map(Some).collect() },
+        );
+        true
+    }
+
     /// The digest of one replica's whole data plane. Fingerprints read the
     /// sibling sets' cached hashes — nothing is encoded here.
     #[must_use]
@@ -891,18 +939,40 @@ impl<B: StoreBackend> Cluster<B> {
         batched: bool,
     ) -> Option<Key> {
         let WireKeyDelta { key, element, versions } = delta;
-        let entry = plane.get_mut(&key)?;
+        // A key this cluster has never seen: a multi-process node learning
+        // it from a peer. Adopt the shipped element as the local replica's
+        // first element — never mint a fresh universe here, that would
+        // collide with the sender's. Single-replica clusters only (the
+        // node topology); elsewhere, and for backends that cannot adopt
+        // foreign elements, the key is skipped as before.
+        let adopted = if plane.contains_key(&key) {
+            false
+        } else {
+            if self.replicas.len() != 1 {
+                return None;
+            }
+            let state = self.backend.adopt_key(&element)?;
+            plane.insert(key.clone(), KeyPlane { state, unclaimed: vec![None] });
+            shard.insert(key.clone(), KeyData::new(&self.backend, element.clone()));
+            true
+        };
+        let entry = plane.get_mut(&key).expect("present or just adopted");
         if !shard.contains_key(&key) {
             let claimed =
                 entry.unclaimed[requester].take().expect("initial element claimed exactly once");
             shard.insert(key.clone(), KeyData::new(&self.backend, claimed));
         }
         let data = shard.get_mut(&key).expect("inserted above");
-        let absorbed = {
-            let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
-            self.backend.absorb(&mut entry.state, data.element(), &element)
-        };
-        data.set_element(&self.backend, absorbed);
+        // An adopted element was consumed as the local element; there is
+        // nothing separate to absorb.
+        if !adopted {
+            let absorbed = {
+                let _timer =
+                    self.profile.is_enabled().then(|| self.profile.time(&self.profile.join));
+                self.backend.absorb(&mut entry.state, data.element(), &element)
+            };
+            data.set_element(&self.backend, absorbed);
+        }
         let _timer = self.profile.is_enabled().then(|| self.profile.time(&self.profile.relation));
         // Every delta frame of this batch was minted against one
         // sibling-set state, so the base context and its hash are
@@ -1167,8 +1237,11 @@ impl<B: StoreBackend> Cluster<B> {
                     payload,
                 });
             }
+            // Node-serving kinds (join/get/put/status) belong to the TCP
+            // transport; they never ride the in-process mesh.
+            _ => {}
         };
-        for round in 0..rounds {
+        'rounds: for round in 0..rounds {
             let peer = (index + 1 + round % (n - 1)) % n;
             self.wire.exchanges.fetch_add(1, Ordering::Relaxed);
             let opening = if self.policy.delta_frames {
@@ -1182,42 +1255,73 @@ impl<B: StoreBackend> Cluster<B> {
                 let digest = encode_digest(&self.build_digest(index));
                 Envelope { from: index, kind: MessageKind::Digest, payload: digest }
             };
-            self.wire
-                .digest_bytes
-                .fetch_add(envelope_len(index, opening.payload.len()), Ordering::Relaxed);
-            if senders[peer].send(opening).is_err() {
-                break;
-            }
-            // Wait for this pull to finish — an Ack (converged, nothing to
-            // exchange) or our delta — serving whatever else arrives
-            // meanwhile. A Miss is ours to answer with the full digest.
-            while let Ok(envelope) = receiver.recv_timeout(Duration::from_millis(200)) {
-                let done = matches!(envelope.kind, MessageKind::Delta | MessageKind::Ack);
-                if envelope.kind == MessageKind::Miss {
-                    let digest = encode_digest(&self.build_digest(index));
-                    self.wire
-                        .digest_bytes
-                        .fetch_add(envelope_len(index, digest.len()), Ordering::Relaxed);
-                    let _ = senders[envelope.from].send(Envelope {
-                        from: index,
-                        kind: MessageKind::Digest,
-                        payload: digest,
-                    });
-                } else {
-                    serve(envelope);
+            // Bounded pull: (re)send the opening up to GOSSIP_PULL_ATTEMPTS
+            // times with a widening per-attempt wait, all under one
+            // exchange-level deadline — a lost reply or a stalled responder
+            // costs this round, never the worker.
+            let deadline = Instant::now() + GOSSIP_EXCHANGE_TIMEOUT;
+            'attempts: for attempt in 0..GOSSIP_PULL_ATTEMPTS {
+                if attempt > 0 {
+                    self.wire.pull_retries.fetch_add(1, Ordering::Relaxed);
                 }
-                if done {
-                    break;
+                self.wire
+                    .digest_bytes
+                    .fetch_add(envelope_len(index, opening.payload.len()), Ordering::Relaxed);
+                if senders[peer].send(opening.clone()).is_err() {
+                    break 'rounds;
+                }
+                // Wait for this pull to finish — an Ack (converged, nothing
+                // to exchange) or our delta — serving whatever else arrives
+                // meanwhile. A Miss is ours to answer with the full digest.
+                let attempt_wait = GOSSIP_PULL_TIMEOUT * (attempt as u32 + 1);
+                let attempt_deadline = deadline.min(Instant::now() + attempt_wait);
+                loop {
+                    let wait = attempt_deadline.saturating_duration_since(Instant::now());
+                    match receiver.recv_timeout(wait) {
+                        Ok(envelope) => {
+                            let done =
+                                matches!(envelope.kind, MessageKind::Delta | MessageKind::Ack);
+                            if envelope.kind == MessageKind::Miss {
+                                let digest = encode_digest(&self.build_digest(index));
+                                self.wire.digest_bytes.fetch_add(
+                                    envelope_len(index, digest.len()),
+                                    Ordering::Relaxed,
+                                );
+                                let _ = senders[envelope.from].send(Envelope {
+                                    from: index,
+                                    kind: MessageKind::Digest,
+                                    payload: digest,
+                                });
+                            } else {
+                                serve(envelope);
+                            }
+                            if done {
+                                continue 'rounds;
+                            }
+                        }
+                        // Transport gone: the run is over, exit cleanly.
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break 'rounds,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if Instant::now() >= deadline {
+                                // Exchange deadline hit: abandon this pull
+                                // (the next round's probe restarts it).
+                                continue 'rounds;
+                            }
+                            continue 'attempts;
+                        }
+                    }
                 }
             }
         }
         finished.fetch_add(1, Ordering::AcqRel);
         // Keep serving peers until every worker is done and our queue has
-        // drained.
+        // drained — or the transport is closed under us: a disconnected
+        // channel must terminate the worker cleanly, not park it.
         loop {
             match receiver.recv_timeout(Duration::from_millis(20)) {
                 Ok(envelope) => serve(envelope),
-                Err(_) => {
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if finished.load(Ordering::Acquire) == n {
                         return;
                     }

@@ -1,0 +1,243 @@
+//! Phi-accrual failure detection over heartbeats piggybacked on gossip.
+//!
+//! Every envelope a node receives from a peer doubles as a heartbeat. The
+//! detector keeps a sliding window of inter-arrival times and, instead of
+//! a binary alive/dead verdict, reports a *suspicion level*
+//! `phi(t) = -log10(P(heartbeat still pending after t))` under an
+//! exponential inter-arrival model (the Cassandra simplification of
+//! Hayashibara et al.'s phi-accrual detector):
+//!
+//! ```text
+//! phi(t) = log10(e) · t / mean_interval ≈ 0.4343 · t / mean_interval
+//! ```
+//!
+//! Phi grows continuously — and *monotonically* — with silence, so one
+//! threshold knob trades detection latency against false suspicion. At the
+//! default threshold of 8, a peer is suspected only after a silence of
+//! `8 / 0.4343 ≈ 18.4` mean intervals, which jittered-but-regular
+//! heartbeats never approach (the property tests pin both facts down).
+//!
+//! Eviction adds hysteresis on top: a suspected peer must *stay* suspected
+//! for a grace period before the membership layer marks it evicted and the
+//! frontier-evidence GC retires its identity subtree — a heal within the
+//! grace (a partition, not a death) cancels the suspicion without churn.
+
+use std::collections::VecDeque;
+
+/// `log10(e)`: converts silence measured in mean intervals into phi.
+const PHI_FACTOR: f64 = core::f64::consts::LOG10_E;
+
+/// Tuning of one [`PhiAccrual`] estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiConfig {
+    /// Sliding-window length, in heartbeat intervals. Small enough to
+    /// adapt when gossip cadence changes, large enough to smooth jitter.
+    pub window: usize,
+    /// Floor on the estimated mean interval, in milliseconds — guards
+    /// against a burst of back-to-back heartbeats collapsing the mean and
+    /// making phi explode on the next ordinary gap.
+    pub min_mean_ms: u64,
+    /// Suspicion threshold: the peer is suspected once `phi` exceeds this.
+    pub threshold: f64,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig { window: 16, min_mean_ms: 20, threshold: 8.0 }
+    }
+}
+
+/// Phi-accrual suspicion estimator for one peer. Time is a caller-supplied
+/// monotonic millisecond clock, so the estimator is deterministic under
+/// test and oblivious to wall-clock jumps.
+#[derive(Debug, Clone)]
+pub struct PhiAccrual {
+    config: PhiConfig,
+    intervals: VecDeque<u64>,
+    interval_sum: u64,
+    last_heartbeat: Option<u64>,
+}
+
+impl PhiAccrual {
+    /// A fresh estimator that has heard nothing yet.
+    #[must_use]
+    pub fn new(config: PhiConfig) -> Self {
+        PhiAccrual {
+            config,
+            intervals: VecDeque::with_capacity(config.window.max(1)),
+            interval_sum: 0,
+            last_heartbeat: None,
+        }
+    }
+
+    /// Records a heartbeat at `now_ms`. Out-of-order timestamps clamp to a
+    /// zero interval rather than corrupting the window.
+    pub fn heartbeat(&mut self, now_ms: u64) {
+        if let Some(last) = self.last_heartbeat {
+            let interval = now_ms.saturating_sub(last);
+            if self.intervals.len() == self.config.window.max(1) {
+                let expired = self.intervals.pop_front().expect("window is non-empty");
+                self.interval_sum -= expired;
+            }
+            self.intervals.push_back(interval);
+            self.interval_sum += interval;
+        }
+        self.last_heartbeat = Some(self.last_heartbeat.map_or(now_ms, |last| last.max(now_ms)));
+    }
+
+    /// The windowed mean inter-arrival estimate, floored at
+    /// [`PhiConfig::min_mean_ms`]; `None` until two heartbeats have been
+    /// seen.
+    #[must_use]
+    pub fn mean_interval_ms(&self) -> Option<f64> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let mean = self.interval_sum as f64 / self.intervals.len() as f64;
+        Some(mean.max(self.config.min_mean_ms as f64))
+    }
+
+    /// The suspicion level at `now_ms`: 0 until the estimator has a mean
+    /// (fewer than two heartbeats — never suspect a peer it has not had a
+    /// chance to hear), then `0.4343 · elapsed / mean`.
+    #[must_use]
+    pub fn phi(&self, now_ms: u64) -> f64 {
+        let (Some(last), Some(mean)) = (self.last_heartbeat, self.mean_interval_ms()) else {
+            return 0.0;
+        };
+        let elapsed = now_ms.saturating_sub(last) as f64;
+        PHI_FACTOR * elapsed / mean
+    }
+
+    /// Whether the peer's phi exceeds the configured threshold at `now_ms`.
+    #[must_use]
+    pub fn is_suspect(&self, now_ms: u64) -> bool {
+        self.phi(now_ms) > self.config.threshold
+    }
+
+    /// Number of intervals currently in the window.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The configured suspicion threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn silent_until_two_heartbeats() {
+        let mut detector = PhiAccrual::new(PhiConfig::default());
+        assert_eq!(detector.phi(10_000), 0.0);
+        detector.heartbeat(0);
+        assert_eq!(detector.phi(10_000), 0.0, "one heartbeat fixes no rate");
+        detector.heartbeat(100);
+        assert!(detector.phi(10_000) > 8.0, "two heartbeats do");
+    }
+
+    #[test]
+    fn window_slides_and_mean_tracks_recent_rate() {
+        let config = PhiConfig { window: 4, min_mean_ms: 1, threshold: 8.0 };
+        let mut detector = PhiAccrual::new(config);
+        let mut now = 0;
+        for _ in 0..10 {
+            detector.heartbeat(now);
+            now += 100;
+        }
+        assert_eq!(detector.samples(), 4);
+        assert_eq!(detector.mean_interval_ms(), Some(100.0));
+        // Rate halves: after one full window of new intervals the mean has
+        // fully adapted (the first new beat still closes a 100 ms gap).
+        for _ in 0..5 {
+            detector.heartbeat(now);
+            now += 200;
+        }
+        assert_eq!(detector.mean_interval_ms(), Some(200.0));
+    }
+
+    #[test]
+    fn out_of_order_heartbeats_do_not_panic_or_inflate() {
+        let mut detector = PhiAccrual::new(PhiConfig::default());
+        detector.heartbeat(1_000);
+        detector.heartbeat(500); // late delivery
+        detector.heartbeat(1_100);
+        assert!(detector.phi(1_100) < 8.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Phi is monotone in the silence duration: more silence never
+        /// lowers suspicion.
+        #[test]
+        fn phi_monotone_in_silence(
+            period in 10u64..2_000,
+            beats in 2usize..40,
+            t1 in 0u64..1_000_000,
+            dt in 0u64..1_000_000,
+        ) {
+            let mut detector = PhiAccrual::new(PhiConfig::default());
+            for i in 0..beats as u64 {
+                detector.heartbeat(i * period);
+            }
+            let last = (beats as u64 - 1) * period;
+            let a = detector.phi(last + t1);
+            let b = detector.phi(last + t1 + dt);
+            prop_assert!(b >= a, "phi({}) = {} < phi({}) = {}", t1 + dt, b, t1, a);
+        }
+
+        /// Jittered-but-regular heartbeats never cross the threshold: with
+        /// intervals in [period·(1−j), period·(1+j)], phi measured at any
+        /// moment up to the next arrival stays ≤ 0.4343·(1+j)/(1−j) — far
+        /// below the default threshold of 8.
+        #[test]
+        fn no_false_suspicion_under_jitter(
+            period in 50u64..5_000,
+            jitter_pct in 0u64..30,
+            beats in 3usize..60,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let config = PhiConfig::default();
+            let mut detector = PhiAccrual::new(config);
+            let lo = period - period * jitter_pct / 100;
+            let hi = period + period * jitter_pct / 100;
+            let mut state = seed;
+            let mut draw = move |lo: u64, hi: u64| {
+                // splitmix64 step — deterministic jitter per case.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                lo + z % (hi - lo + 1)
+            };
+            let mut now = 0u64;
+            let mut max_phi: f64 = 0.0;
+            for _ in 0..beats {
+                detector.heartbeat(now);
+                let gap = draw(lo, hi);
+                // Sample phi through the whole silent gap, arrival included.
+                for numerator in 1..=4u64 {
+                    max_phi = max_phi.max(detector.phi(now + gap * numerator / 4));
+                }
+                now += gap;
+            }
+            let bound = PHI_FACTOR * (100 + jitter_pct) as f64 / (100 - jitter_pct) as f64;
+            prop_assert!(
+                max_phi <= bound + 1e-9,
+                "max phi {} exceeded analytic bound {}",
+                max_phi,
+                bound
+            );
+            prop_assert!(max_phi < config.threshold, "false suspicion at phi {}", max_phi);
+        }
+    }
+}

@@ -59,19 +59,27 @@
 
 pub mod backend;
 pub mod cluster;
+pub mod failure;
+pub mod membership;
+pub mod node;
 pub mod profile;
 pub mod store;
+pub mod transport;
 pub mod wire;
 
 pub use backend::{DvvClock, DynamicVvBackend, GcWatermarks, StoreBackend, VstampBackend};
 pub use cluster::{
     Cluster, ClusterConfig, CompactionStats, ExchangeStats, GossipStats, StoreMetrics,
 };
+pub use failure::{PhiAccrual, PhiConfig};
+pub use membership::{MemberEntry, MemberStatus, MemberTable, MEMBERS_KEY};
+pub use node::{Node, NodeClient, NodeConfig, NodeStatus};
 pub use profile::{ProfileSnapshot, SectionSnapshot, StoreProfile};
 pub use store::{DeltaOrigin, GetResult, Key, KeySnapshot, StoredVersion, Value, Version};
+pub use transport::{recv_envelope, send_envelope, Backoff, PeerLink, TransportConfig};
 pub use wire::{
-    envelope_len, DeltaEncodeStats, DeltaPolicy, DigestEntry, Envelope, KeyDelta, MessageKind,
-    WireKeyDelta, WireVersion,
+    decode_envelope, encode_envelope, envelope_len, DeltaEncodeStats, DeltaPolicy, DigestEntry,
+    Envelope, KeyDelta, MessageKind, WireKeyDelta, WireVersion,
 };
 
 #[cfg(test)]

@@ -173,10 +173,79 @@ pub enum MessageKind {
     /// A fingerprint-miss report (payload: encoded key list); answered
     /// with a full-frames-only delta.
     Nak,
+    /// A membership join request (payload: the joiner's advertised
+    /// address). Answered with [`MessageKind::JoinAck`] carrying a forked
+    /// half of the sponsor's membership stamp — decentralized creation.
+    Join,
+    /// A join grant: the encoded identity stamp plus a member-table
+    /// snapshot for peer discovery.
+    JoinAck,
+    /// A client read (payload: the key). Answered with
+    /// [`MessageKind::GetOk`].
+    Get,
+    /// A client read response: sibling values plus an opaque causal
+    /// context.
+    GetOk,
+    /// A client write (payload: key, value, optional causal context).
+    /// Answered with [`MessageKind::PutOk`].
+    Put,
+    /// A client write acknowledgement.
+    PutOk,
+    /// A status probe (empty payload). Answered with
+    /// [`MessageKind::StatusOk`].
+    Status,
+    /// A status report: digest root, member table, suspects, id-string
+    /// counts.
+    StatusOk,
+}
+
+impl MessageKind {
+    /// The kind's one-byte wire tag.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            MessageKind::Probe => 0,
+            MessageKind::Ack => 1,
+            MessageKind::Miss => 2,
+            MessageKind::Digest => 3,
+            MessageKind::Delta => 4,
+            MessageKind::Nak => 5,
+            MessageKind::Join => 6,
+            MessageKind::JoinAck => 7,
+            MessageKind::Get => 8,
+            MessageKind::GetOk => 9,
+            MessageKind::Put => 10,
+            MessageKind::PutOk => 11,
+            MessageKind::Status => 12,
+            MessageKind::StatusOk => 13,
+        }
+    }
+
+    /// The kind for a wire tag, or `None` for an unknown tag.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<MessageKind> {
+        Some(match tag {
+            0 => MessageKind::Probe,
+            1 => MessageKind::Ack,
+            2 => MessageKind::Miss,
+            3 => MessageKind::Digest,
+            4 => MessageKind::Delta,
+            5 => MessageKind::Nak,
+            6 => MessageKind::Join,
+            7 => MessageKind::JoinAck,
+            8 => MessageKind::Get,
+            9 => MessageKind::GetOk,
+            10 => MessageKind::Put,
+            11 => MessageKind::PutOk,
+            12 => MessageKind::Status,
+            13 => MessageKind::StatusOk,
+            _ => return None,
+        })
+    }
 }
 
 /// A routed gossip message: sender index, kind, and the encoded payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Index of the sending replica.
     pub from: usize,
@@ -193,6 +262,37 @@ pub struct Envelope {
 #[must_use]
 pub fn envelope_len(from: usize, payload_len: usize) -> usize {
     1 + varint_len(from as u64) + varint_len(payload_len as u64) + payload_len
+}
+
+/// Serializes an envelope into exactly the [`envelope_len`] form the store
+/// has always *accounted* in: kind tag byte, varint sender, varint-framed
+/// payload. This is the unit the TCP transport length-prefixes onto the
+/// socket — promoting the modeled wire cost to the actual one.
+#[must_use]
+pub fn encode_envelope(envelope: &Envelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(envelope_len(envelope.from, envelope.payload.len()));
+    out.push(envelope.kind.tag());
+    write_varint(&mut out, envelope.from as u64);
+    write_frame(&mut out, &envelope.payload);
+    out
+}
+
+/// Deserializes an envelope produced by [`encode_envelope`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on an unknown kind tag, truncation, or
+/// trailing bytes.
+pub fn decode_envelope(bytes: &[u8]) -> Result<Envelope, DecodeError> {
+    let (tag, mut input) = bytes.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+    let kind =
+        MessageKind::from_tag(*tag).ok_or(DecodeError::Malformed("unknown envelope kind tag"))?;
+    let from = read_varint(&mut input)? as usize;
+    let payload = read_frame(&mut input)?.to_vec();
+    if !input.is_empty() {
+        return Err(DecodeError::TrailingData);
+    }
+    Ok(Envelope { from, kind, payload })
 }
 
 /// Encoding policy for [`encode_delta`]: whether delta frames may be
@@ -499,6 +599,44 @@ mod tests {
         trailing.push(9);
         assert_eq!(decode_digest(&trailing), Err(DecodeError::TrailingData));
         assert_eq!(decode_digest(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn envelope_roundtrip_matches_modeled_length() {
+        let kinds = [
+            MessageKind::Probe,
+            MessageKind::Ack,
+            MessageKind::Miss,
+            MessageKind::Digest,
+            MessageKind::Delta,
+            MessageKind::Nak,
+            MessageKind::Join,
+            MessageKind::JoinAck,
+            MessageKind::Get,
+            MessageKind::GetOk,
+            MessageKind::Put,
+            MessageKind::PutOk,
+            MessageKind::Status,
+            MessageKind::StatusOk,
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            assert_eq!(MessageKind::from_tag(kind.tag()), Some(kind));
+            let envelope = Envelope { from: i * 131, kind, payload: vec![0xAB; i * 37] };
+            let bytes = encode_envelope(&envelope);
+            assert_eq!(bytes.len(), envelope_len(envelope.from, envelope.payload.len()));
+            let decoded = decode_envelope(&bytes).unwrap();
+            assert_eq!(decoded.from, envelope.from);
+            assert_eq!(decoded.kind, envelope.kind);
+            assert_eq!(decoded.payload, envelope.payload);
+            assert!(decode_envelope(&bytes[..bytes.len() - 1]).is_err());
+        }
+        assert_eq!(MessageKind::from_tag(14), None);
+        assert!(decode_envelope(&[]).is_err());
+        assert!(decode_envelope(&[200, 0, 0]).is_err(), "unknown tag must be rejected");
+        let mut trailing =
+            encode_envelope(&Envelope { from: 0, kind: MessageKind::Ack, payload: Vec::new() });
+        trailing.push(0);
+        assert_eq!(decode_envelope(&trailing), Err(DecodeError::TrailingData));
     }
 
     #[test]

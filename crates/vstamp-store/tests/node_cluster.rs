@@ -1,0 +1,91 @@
+//! Lifecycle test for the real-socket cluster: three OS-thread nodes on
+//! loopback TCP join by stamp forking, converge through gossip, detect a
+//! killed member via phi-accrual, evict it, and retire its identity
+//! subtree so the survivors' membership stamps shrink back.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use vstamp_store::{
+    MemberStatus, Node, NodeClient, NodeConfig, NodeStatus, PhiConfig, TransportConfig,
+};
+
+fn config(seed: u64) -> NodeConfig {
+    NodeConfig {
+        gossip_interval: Duration::from_millis(10),
+        eviction_grace: Duration::from_millis(400),
+        phi: PhiConfig { threshold: 6.0, ..PhiConfig::default() },
+        seed,
+        ..NodeConfig::default()
+    }
+}
+
+fn client(addr: &str, seed: u64) -> NodeClient {
+    NodeClient::connect(addr, TransportConfig::default(), seed)
+}
+
+fn wait_until(what: &str, deadline: Instant, mut check: impl FnMut() -> bool) {
+    while !check() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn converged(statuses: &[NodeStatus]) -> bool {
+    statuses.windows(2).all(|pair| pair[0].digest_root == pair[1].digest_root)
+}
+
+#[test]
+fn three_nodes_join_converge_evict_and_retire() {
+    let a = Node::bootstrap(config(11)).expect("bootstrap");
+    let b = Node::join(config(22), a.addr()).expect("join b");
+    let c = Node::join(config(33), a.addr()).expect("join c");
+    let deadline = Instant::now() + Duration::from_secs(60);
+
+    // Writes land at three different nodes; keys are minted as fork
+    // halves of each node's membership stamp.
+    client(a.addr(), 1).put("alpha", b"from-a".to_vec(), None).expect("put at a");
+    client(b.addr(), 2).put("beta", b"from-b".to_vec(), None).expect("put at b");
+    client(c.addr(), 3).put("gamma", b"from-c".to_vec(), None).expect("put at c");
+
+    // Fault-free phase: everyone converges, nobody is suspected.
+    wait_until("initial convergence", deadline, || {
+        converged(&[a.status(), b.status(), c.status()])
+    });
+    let (values, _) = client(b.addr(), 4).get("gamma").expect("get at b");
+    assert_eq!(values, vec![b"from-c".to_vec()]);
+    for status in [a.status(), b.status(), c.status()] {
+        assert_eq!(status.active_members, 3, "control run must not suspect anyone");
+        assert_eq!(status.evicted_members, 0, "control run must not evict anyone");
+    }
+
+    // Kill c. The survivors stop hearing from it, phi accrues past the
+    // threshold, the grace period expires, and c is evicted.
+    let dead_addr = c.addr().to_owned();
+    let peak_bits = a.status().id_bits;
+    drop(c);
+    wait_until("eviction of the killed node", deadline, || {
+        [a.status(), b.status()].iter().all(|status| {
+            status.table.entry(&dead_addr).is_some_and(|e| e.status == MemberStatus::Evicted)
+        })
+    });
+
+    // Eviction feeds the frontier-evidence GC: the sponsor's membership
+    // stamp reabsorbs the evicted identity subtree and shrinks.
+    wait_until("identity retirement", deadline, || {
+        a.status().retirements + b.status().retirements >= 1
+    });
+    wait_until("membership stamp shrink", deadline, || a.status().id_bits < peak_bits);
+
+    // The surviving pair still serves causally and converges.
+    let mut writer = client(a.addr(), 5);
+    let (_, context) = writer.get("alpha").expect("read alpha");
+    writer.put("alpha", b"after-eviction".to_vec(), context.as_ref()).expect("rewrite alpha");
+    wait_until("post-eviction convergence", deadline, || {
+        let (values, _) = client(b.addr(), 6).get("alpha").expect("get at b");
+        values == vec![b"after-eviction".to_vec()] && converged(&[a.status(), b.status()])
+    });
+
+    b.shutdown();
+    a.shutdown();
+}

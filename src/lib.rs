@@ -53,6 +53,6 @@ pub use vstamp_core::{BitTrieCodec, StampCodec, VarintCodec};
 pub use vstamp_itc::ItcStamp;
 pub use vstamp_panasync::{FileCopy, Reconciliation, Workspace};
 pub use vstamp_store::{
-    Cluster, DynamicVvBackend, GcWatermarks, ProfileSnapshot, StoreBackend, StoredVersion,
-    VstampBackend,
+    Cluster, DynamicVvBackend, GcWatermarks, Node, NodeClient, NodeConfig, NodeStatus, PhiConfig,
+    ProfileSnapshot, StoreBackend, StoredVersion, TransportConfig, VstampBackend,
 };
